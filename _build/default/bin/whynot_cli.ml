@@ -1,0 +1,342 @@
+(* Command-line interface: load a why-not document (schema, facts, query,
+   why-not tuple, optional ontologies) and explain the missing tuple.
+
+   See `examples/data/cities.whynot` for the input format, and the Parser
+   module documentation for the grammar. *)
+
+open Cmdliner
+open Whynot_relational
+open Whynot_core
+
+let load path =
+  match Whynot_text.Parser.parse_file path with
+  | Ok doc -> Ok doc
+  | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg))
+
+let or_die = function
+  | Ok v -> v
+  | Error (`Msg msg) ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
+
+let msg_of_string r = Result.map_error (fun m -> `Msg m) r
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+(* --- check --- *)
+
+let check_cmd =
+  let run path =
+    let doc = or_die (load path) in
+    let schema = or_die (msg_of_string (Whynot_text.Parser.schema_of doc)) in
+    Format.printf "schema: %d relation(s), %d FD(s), %d IND(s), %d view(s)@."
+      (List.length (Schema.relations schema))
+      (List.length (Schema.fds schema))
+      (List.length (Schema.inds schema))
+      (List.length (Whynot_relational.View.defs (Schema.views schema)));
+    let inst = Whynot_text.Parser.instance_of doc in
+    Format.printf "instance: %d fact(s), %d constant(s) in the active domain@."
+      (Instance.fact_count inst)
+      (Value_set.cardinal (Instance.adom inst));
+    (match Schema.satisfies schema inst with
+     | Ok () -> Format.printf "integrity constraints: satisfied@."
+     | Error msg -> Format.printf "integrity constraints: VIOLATED (%s)@." msg);
+    (match Whynot_text.Parser.whynot_of doc with
+     | Ok wn -> Format.printf "%a@." Whynot.pp wn
+     | Error msg -> Format.printf "why-not question: %s@." msg);
+    (match Whynot_text.Parser.hand_ontology_of doc with
+     | Some o ->
+       Format.printf "hand ontology: %d concept(s)@."
+         (List.length (Option.value ~default:[] o.Ontology.concepts))
+     | None -> ());
+    match or_die (msg_of_string (Whynot_text.Parser.obda_spec_of doc)) with
+    | Some spec ->
+      Format.printf "OBDA: %d TBox axiom(s), %d mapping(s)@."
+        (Whynot_dllite.Tbox.size (Whynot_obda.Spec.tbox spec))
+        (List.length (Whynot_obda.Spec.mappings spec))
+    | None -> ()
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate a why-not document.")
+    Term.(const run $ path)
+
+(* --- answers --- *)
+
+let answers_cmd =
+  let run path =
+    let doc = or_die (load path) in
+    match doc.Whynot_text.Parser.query with
+    | None -> or_die (Error (`Msg "no query in document"))
+    | Some (name, q) ->
+      let inst = Whynot_text.Parser.instance_of doc in
+      let result = Cq.eval q inst in
+      Format.printf "%s has %d answer(s):@." name (Relation.cardinal result);
+      Relation.iter (fun t -> Format.printf "  %a@." Tuple.pp t) result
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "answers" ~doc:"Evaluate the document's query.")
+    Term.(const run $ path)
+
+(* --- explain --- *)
+
+type ontology_choice =
+  | Hand
+  | Obda
+  | From_instance
+  | From_schema
+
+let ontology_conv =
+  Arg.enum
+    [ ("hand", Hand); ("obda", Obda); ("instance", From_instance);
+      ("schema", From_schema) ]
+
+let explain_cmd =
+  let run path choice selections all verbose =
+    setup_logs verbose;
+    let doc = or_die (load path) in
+    let wn = or_die (msg_of_string (Whynot_text.Parser.whynot_of doc)) in
+    let print_finite_mges (type c) (o : c Ontology.t) =
+      let mges = Exhaustive.all_mges o wn in
+      if mges = [] then Format.printf "no explanation exists@."
+      else if all then
+        List.iter
+          (fun e -> Format.printf "MGE: %a@." (Explanation.pp o) e)
+          mges
+      else Format.printf "MGE: %a@." (Explanation.pp o) (List.hd mges)
+    in
+    match choice with
+    | Hand ->
+      (match Whynot_text.Parser.hand_ontology_of doc with
+       | None -> or_die (Error (`Msg "no hand ontology in document (ext items)"))
+       | Some o -> print_finite_mges o)
+    | Obda ->
+      (match or_die (msg_of_string (Whynot_text.Parser.obda_spec_of doc)) with
+       | None -> or_die (Error (`Msg "no OBDA specification in document"))
+       | Some spec ->
+         let induced =
+           Whynot_obda.Induced.prepare spec wn.Whynot.instance
+         in
+         (match Whynot_obda.Induced.consistent induced with
+          | Ok () -> ()
+          | Error msg ->
+            Format.printf "warning: retrieved assertions inconsistent: %s@." msg);
+         print_finite_mges (Ontology.of_obda induced))
+    | From_instance ->
+      let variant =
+        if selections then Incremental.With_selections
+        else Incremental.Selection_free
+      in
+      let e = Incremental.one_mge ~variant wn in
+      let o = Ontology.of_instance wn.Whynot.instance in
+      Format.printf "MGE w.r.t. O_I: %a@." (Explanation.pp o) e
+    | From_schema ->
+      let schema =
+        or_die (msg_of_string (Whynot_text.Parser.schema_of doc))
+      in
+      (match Schema_mge.one_mge `Minimal schema wn with
+       | Some e ->
+         let o = Schema_mge.ontology `Minimal schema wn in
+         Format.printf "MGE w.r.t. O_S[K] (minimal fragment): %a@."
+           (Explanation.pp o) e
+       | None -> Format.printf "no explanation exists@.")
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let choice =
+    Arg.(value & opt ontology_conv From_instance
+         & info [ "o"; "ontology" ]
+             ~doc:"Ontology to explain with: $(b,hand), $(b,obda), \
+                   $(b,instance) (O_I, default) or $(b,schema) (O_S).")
+  in
+  let selections =
+    Arg.(value & flag
+         & info [ "selections" ]
+             ~doc:"With $(b,--ontology=instance): allow selections in \
+                   concepts (Theorem 5.4 variant of Algorithm 2).")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"With finite ontologies: print every most-general \
+                   explanation instead of one.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Compute most-general explanation(s) for the document's why-not \
+             question.")
+    Term.(const run $ path $ choice $ selections $ all $ verbose_arg)
+
+(* --- subsume --- *)
+
+type wrt =
+  | Wrt_instance
+  | Wrt_schema
+
+let subsume_cmd =
+  let run path wrt c1_src c2_src verbose =
+    setup_logs verbose;
+    let doc = or_die (load path) in
+    let parse src =
+      or_die (msg_of_string (Whynot_text.Parser.concept_of_string doc src))
+    in
+    let c1 = parse c1_src and c2 = parse c2_src in
+    let schema = or_die (msg_of_string (Whynot_text.Parser.schema_of doc)) in
+    let inst = Whynot_text.Parser.instance_of doc in
+    let pp_c = Whynot_concept.Ls.pp ~schema () in
+    match wrt with
+    | Wrt_instance ->
+      Format.printf "%a <=I %a : %b@." pp_c c1 pp_c c2
+        (Whynot_concept.Subsume_inst.subsumes inst c1 c2)
+    | Wrt_schema ->
+      Format.printf "%a <=S %a : %a@." pp_c c1 pp_c c2
+        Whynot_concept.Subsume_schema.pp_verdict
+        (Whynot_concept.Subsume_schema.decide schema c1 c2)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let c1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"CONCEPT1") in
+  let c2 = Arg.(required & pos 2 (some string) None & info [] ~docv:"CONCEPT2") in
+  let wrt =
+    Arg.(value
+         & opt (enum [ ("instance", Wrt_instance); ("schema", Wrt_schema) ])
+             Wrt_instance
+         & info [ "wrt" ]
+             ~doc:"Compare w.r.t. the $(b,instance) (⊑_I, default) or the \
+                   $(b,schema) (⊑_S).")
+  in
+  Cmd.v
+    (Cmd.info "subsume"
+       ~doc:"Decide concept subsumption, e.g. \
+             'Cities.name[continent = \"Europe\"]' 'Cities.name'.")
+    Term.(const run $ path $ wrt $ c1 $ c2 $ verbose_arg)
+
+(* --- why (the dual problem) --- *)
+
+let why_cmd =
+  let run path tuple_src selections =
+    let doc = or_die (load path) in
+    let witness =
+      or_die (msg_of_string (Whynot_text.Parser.values_of_string tuple_src))
+    in
+    match doc.Whynot_text.Parser.query with
+    | None -> or_die (Error (`Msg "no query in document"))
+    | Some (_, q) ->
+      let inst = Whynot_text.Parser.instance_of doc in
+      let why =
+        or_die
+          (msg_of_string (Why.make ~instance:inst ~query:q ~witness ()))
+      in
+      let variant =
+        if selections then Incremental.With_selections
+        else Incremental.Selection_free
+      in
+      let e = Why.one_mge ~variant why in
+      let o = Ontology.of_instance inst in
+      Format.printf "most-general WHY explanation w.r.t. O_I: %a@."
+        (Explanation.pp o) e
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let tuple =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"TUPLE" ~doc:"e.g. '\"Amsterdam\", \"Rome\"'")
+  in
+  let selections =
+    Arg.(value & flag & info [ "selections" ] ~doc:"Allow selections.")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Explain why a tuple IS an answer (the dual problem, §7).")
+    Term.(const run $ path $ tuple $ selections)
+
+(* --- provenance --- *)
+
+let provenance_cmd =
+  let run path tuple_src =
+    let doc = or_die (load path) in
+    let values =
+      or_die (msg_of_string (Whynot_text.Parser.values_of_string tuple_src))
+    in
+    match doc.Whynot_text.Parser.query with
+    | None -> or_die (Error (`Msg "no query in document"))
+    | Some (name, q) ->
+      let inst = Whynot_text.Parser.instance_of doc in
+      let tuple = Tuple.of_list values in
+      let ws = Provenance.witnesses q inst tuple in
+      if ws = [] then
+        Format.printf "%a is NOT an answer of %s — ask `explain` instead@."
+          Tuple.pp tuple name
+      else
+        List.iteri
+          (fun i w ->
+             Format.printf "witness %d:@." (i + 1);
+             List.iter
+               (fun (rel, t) -> Format.printf "  %s%a@." rel Tuple.pp t)
+               w.Provenance.facts;
+             (* When the supporting facts are view tuples, also show one
+                derivation down to the base facts. *)
+             let schema =
+               Result.to_option (Whynot_text.Parser.schema_of doc)
+             in
+             match schema with
+             | None -> ()
+             | Some schema ->
+               let views = Schema.views schema in
+               List.iter
+                 (fun (rel, t) ->
+                    if View.is_view views rel then
+                      match Provenance.derive_one views inst rel t with
+                      | Some d ->
+                        Format.printf "  derivation:@.    %a@."
+                          Provenance.pp_derivation d
+                      | None -> ())
+                 w.Provenance.facts)
+          ws
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let tuple =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TUPLE")
+  in
+  Cmd.v
+    (Cmd.info "provenance"
+       ~doc:"Show why-provenance (witnesses and derivations) for a tuple \
+             that IS an answer.")
+    Term.(const run $ path $ tuple)
+
+(* --- eval (Datalog rules) --- *)
+
+let eval_cmd =
+  let run path =
+    let doc = or_die (load path) in
+    match or_die (msg_of_string (Whynot_text.Parser.program_of doc)) with
+    | None -> or_die (Error (`Msg "no rule items in document"))
+    | Some prog ->
+      let inst = Whynot_text.Parser.instance_of doc in
+      let out = Whynot_datalog.Program.eval prog inst in
+      List.iter
+        (fun p ->
+           match Instance.relation out p with
+           | None -> ()
+           | Some r ->
+             Format.printf "%s (%d tuple(s)):@." p (Relation.cardinal r);
+             Relation.iter (fun t -> Format.printf "  %a@." Tuple.pp t) r)
+        (Whynot_datalog.Program.idb_predicates prog)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate the document's Datalog rules (semi-naive, stratified \
+             negation) and print the derived relations.")
+    Term.(const run $ path)
+
+let main =
+  Cmd.group
+    (Cmd.info "whynot" ~version:"1.0.0"
+       ~doc:"High-level why-not explanations using ontologies (PODS 2015).")
+    [ check_cmd; answers_cmd; explain_cmd; subsume_cmd; why_cmd; provenance_cmd; eval_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/derived_ontology.mli:

@@ -1,0 +1,1 @@
+examples/obda_cities.ml: Cq Dl Exhaustive Explanation Format List Obda_whynot Ontology Tbox Ucq Value_set Whynot Whynot_core Whynot_dllite Whynot_obda Whynot_relational Whynot_workload

@@ -1,0 +1,1 @@
+examples/obda_cities.mli:

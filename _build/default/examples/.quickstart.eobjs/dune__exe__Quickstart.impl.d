@@ -1,0 +1,1 @@
+examples/quickstart.ml: Exhaustive Explanation Format Instance List Ontology Relation Schema String Value_set Whynot Whynot_core Whynot_relational Whynot_workload

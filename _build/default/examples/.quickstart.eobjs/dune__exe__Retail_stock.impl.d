@@ -1,0 +1,1 @@
+examples/retail_stock.ml: Exhaustive Explanation Format Incremental Instance List Ontology String Value_set Whynot Whynot_core Whynot_relational Whynot_workload

@@ -1,0 +1,1 @@
+lib/concept/count.ml: Float Instance List Ls Option Relation Schema Value_set Whynot_relational

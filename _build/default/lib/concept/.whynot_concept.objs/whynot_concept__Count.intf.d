@@ -1,0 +1,1 @@
+lib/concept/count.mli: Instance Ls Schema Value_set Whynot_relational

@@ -1,0 +1,1 @@
+lib/concept/irredundant.ml: List Ls Semantics

@@ -1,0 +1,1 @@
+lib/concept/irredundant.mli: Instance Ls Whynot_relational

@@ -1,0 +1,1 @@
+lib/concept/ls.ml: Cmp_op Format Int Interval List Map Printf Schema Stdlib String Value Value_set Whynot_relational

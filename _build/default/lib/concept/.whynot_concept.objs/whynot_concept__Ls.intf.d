@@ -1,0 +1,1 @@
+lib/concept/ls.mli: Cmp_op Format Schema Value Value_set Whynot_relational

@@ -1,0 +1,1 @@
+lib/concept/lub.ml: Instance Interval List Ls Relation Semantics Tuple Value Value_set Whynot_relational

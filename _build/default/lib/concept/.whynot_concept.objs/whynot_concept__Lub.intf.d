@@ -1,0 +1,1 @@
+lib/concept/lub.mli: Instance Ls Value_set Whynot_relational

@@ -1,0 +1,1 @@
+lib/concept/semantics.ml: Instance List Ls Relation Value_set Whynot_relational

@@ -1,0 +1,1 @@
+lib/concept/semantics.mli: Instance Ls Value Value_set Whynot_relational

@@ -1,0 +1,1 @@
+lib/concept/subsume_inst.mli: Instance Ls Whynot_relational

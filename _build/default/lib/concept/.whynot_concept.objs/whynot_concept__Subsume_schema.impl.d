@@ -1,0 +1,1 @@
+lib/concept/subsume_schema.ml: Containment Cq Fd Format Ind Instance Int List Logs Ls Option Relation Schema Semantics To_query Tuple Ucq Value Value_set Whynot_relational

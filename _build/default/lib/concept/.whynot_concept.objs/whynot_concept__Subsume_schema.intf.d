@@ -1,0 +1,1 @@
+lib/concept/subsume_schema.mli: Format Instance Ls Schema Whynot_relational

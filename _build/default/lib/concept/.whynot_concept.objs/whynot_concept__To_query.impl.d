@@ -1,0 +1,1 @@
+lib/concept/to_query.ml: Cmp_op Cq List Ls Printf Schema Ucq View Whynot_relational

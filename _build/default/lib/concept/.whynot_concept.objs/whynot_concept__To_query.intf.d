@@ -1,0 +1,1 @@
+lib/concept/to_query.mli: Cq Ls Schema Ucq Whynot_relational

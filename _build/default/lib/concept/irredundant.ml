@@ -1,0 +1,47 @@
+
+let ext_of conjuncts inst =
+  List.fold_left
+    (fun acc c -> Semantics.ext_inter acc (Semantics.conjunct_ext c inst))
+    Semantics.All conjuncts
+
+(* Drop redundant selection conditions inside one conjunct: greedily remove
+   conditions while the conjunct's own extension is unchanged. *)
+let slim_conjunct inst conj =
+  match conj with
+  | Ls.Nominal _ -> conj
+  | Ls.Proj { rel; attr; sels } ->
+    let ext_with sels =
+      Semantics.conjunct_ext (Ls.Proj { rel; attr; sels }) inst
+    in
+    let target = ext_with sels in
+    let rec drop kept = function
+      | [] -> List.rev kept
+      | s :: rest ->
+        let without = List.rev_append kept rest in
+        if Semantics.ext_equal (ext_with without) target then drop kept rest
+        else drop (s :: kept) rest
+    in
+    Ls.Proj { rel; attr; sels = drop [] sels }
+
+let minimise inst c =
+  let target = Semantics.extension c inst in
+  let rec drop kept = function
+    | [] -> List.rev kept
+    | conj :: rest ->
+      let without = List.rev_append kept rest in
+      if Semantics.ext_equal (ext_of without inst) target then drop kept rest
+      else drop (conj :: kept) rest
+  in
+  Ls.of_conjuncts (List.map (slim_conjunct inst) (drop [] (Ls.conjuncts c)))
+
+let is_irredundant inst c =
+  let conjuncts = Ls.conjuncts c in
+  let target = ext_of conjuncts inst in
+  let rec check before = function
+    | [] -> true
+    | conj :: rest ->
+      let without = List.rev_append before rest in
+      (not (Semantics.ext_equal (ext_of without inst) target))
+      && check (conj :: before) rest
+  in
+  check [] conjuncts

@@ -1,0 +1,14 @@
+(** Irredundant concept expressions (Proposition 6.2): a conjunction
+    [C = C1 ⊓ ... ⊓ Cn] is irredundant w.r.t. [O_I] if no strict subset of
+    its conjuncts is equivalent to [C] over [I]. There is a polynomial-time
+    algorithm producing an irredundant equivalent. *)
+
+open Whynot_relational
+
+val minimise : Instance.t -> Ls.t -> Ls.t
+(** Drop conjuncts greedily while the extension over [I] is unchanged, then
+    drop selection conditions inside each surviving conjunct the same way
+    (a strengthening beyond Proposition 6.2's conjunct-level notion).
+    Polynomial time; the result is irredundant and [≡_{O_I}] the input. *)
+
+val is_irredundant : Instance.t -> Ls.t -> bool

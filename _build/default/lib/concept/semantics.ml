@@ -1,0 +1,52 @@
+open Whynot_relational
+
+type ext =
+  | All
+  | Fin of Value_set.t
+
+let ext_mem v = function
+  | All -> true
+  | Fin s -> Value_set.mem v s
+
+let ext_inter e1 e2 =
+  match e1, e2 with
+  | All, e | e, All -> e
+  | Fin s1, Fin s2 -> Fin (Value_set.inter s1 s2)
+
+let ext_subset e1 e2 =
+  match e1, e2 with
+  | _, All -> true
+  | All, Fin _ -> false
+  | Fin s1, Fin s2 -> Value_set.subset s1 s2
+
+let ext_is_empty = function
+  | All -> false
+  | Fin s -> Value_set.is_empty s
+
+let ext_cardinality = function
+  | All -> None
+  | Fin s -> Some (Value_set.cardinal s)
+
+let ext_equal e1 e2 = ext_subset e1 e2 && ext_subset e2 e1
+
+let conjunct_ext c inst =
+  match c with
+  | Ls.Nominal v -> Fin (Value_set.singleton v)
+  | Ls.Proj { rel; attr; sels } ->
+    (match Instance.relation inst rel with
+     | None -> Fin Value_set.empty
+     | Some r ->
+       let selected =
+         Relation.select
+           (List.map (fun (s : Ls.selection) -> (s.attr, s.op, s.value)) sels)
+           r
+       in
+       Fin (Relation.column attr selected))
+
+let extension t inst =
+  List.fold_left
+    (fun acc c -> ext_inter acc (conjunct_ext c inst))
+    All (Ls.conjuncts t)
+
+let mem v t inst =
+  List.for_all (fun c -> ext_mem v (conjunct_ext c inst)) (Ls.conjuncts t)

@@ -1,0 +1,6 @@
+let subsumes inst c1 c2 =
+  Semantics.ext_subset (Semantics.extension c1 inst) (Semantics.extension c2 inst)
+
+let strictly_subsumed inst c1 c2 = subsumes inst c1 c2 && not (subsumes inst c2 c1)
+
+let equivalent inst c1 c2 = subsumes inst c1 c2 && subsumes inst c2 c1

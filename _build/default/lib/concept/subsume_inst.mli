@@ -1,0 +1,13 @@
+(** Concept subsumption with respect to an instance, [C1 ⊑_I C2]
+    (§4.2): extension inclusion on the given instance. Decidable in
+    polynomial time (Proposition 4.1). *)
+
+open Whynot_relational
+
+val subsumes : Instance.t -> Ls.t -> Ls.t -> bool
+(** [subsumes inst c1 c2] iff [[[c1]]^I ⊆ [[c2]]^I]. *)
+
+val strictly_subsumed : Instance.t -> Ls.t -> Ls.t -> bool
+(** [strictly_subsumed inst c1 c2] iff [c1 ⊑_I c2] and not [c2 ⊑_I c1]. *)
+
+val equivalent : Instance.t -> Ls.t -> Ls.t -> bool

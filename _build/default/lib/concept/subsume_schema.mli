@@ -1,0 +1,62 @@
+(** Concept subsumption with respect to a schema, [C1 ⊑_S C2] (§4.2):
+    extension inclusion over {e every} instance satisfying the schema's
+    integrity constraints. The complexity landscape is Table 1 of the paper;
+    this module implements one decision procedure per constraint class:
+
+    - {b no constraints}: conjunct-wise containment of the translated
+      queries over dense orders — complete.
+    - {b UCQ / nested UCQ views (only)}: unfold both sides over the views,
+      then CQ-in-UCQ containment — complete (the paper's ΠP2 / coNEXPTIME
+      upper-bound strategy).
+    - {b FDs (only)}: containment restricted to FD-satisfying canonical
+      instantiations — complete (FDs are closed under sub-instances, so
+      every counter-example shrinks to an FD-satisfying canonical one).
+    - {b INDs (only), selection-free concepts}: reachability in the
+      positional graph of the INDs — the paper's PTIME fragment. With
+      selections the paper leaves the problem open; we answer [Subsumed]
+      when a sound rule applies, then attempt a bounded chase-based
+      counter-model, and return [Unknown] when both fail.
+    - {b mixtures (views + FDs + INDs)}: sound derivation rules
+      (view-unfolded containment, IND reachability) for [Subsumed], and a
+      bounded counter-model search (canonical instantiation + IND chase +
+      view completion + constraint check) for [Not_subsumed]; [Unknown]
+      otherwise. Table 1 marks IND+FD implication undecidable, so a
+      complete procedure cannot exist.
+
+    [Subsumed] and [Not_subsumed] verdicts are always sound. *)
+
+open Whynot_relational
+
+type verdict =
+  | Subsumed
+  | Not_subsumed
+  | Unknown
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type constraint_class =
+  | No_constraints
+  | Views_only
+  | Fds_only
+  | Inds_only
+  | Mixed
+
+val classify : Schema.t -> constraint_class
+
+val decide : ?chase_depth:int -> Schema.t -> Ls.t -> Ls.t -> verdict
+(** [chase_depth] bounds the counter-model chase (default 4). *)
+
+val subsumes : ?chase_depth:int -> Schema.t -> Ls.t -> Ls.t -> bool
+(** [decide = Subsumed]. For the complete classes this decides ⊑_S; in
+    general it under-approximates it. *)
+
+val refutes : ?chase_depth:int -> Schema.t -> Ls.t -> Ls.t -> bool
+(** [decide = Not_subsumed]. *)
+
+val chase_to_legal_instance :
+  ?depth:int -> Schema.t -> Instance.t -> Instance.t option
+(** The counter-model construction kernel, exposed for reuse (e.g. strong
+    explanations): keep the data relations of the given instance, repair
+    IND violations by inserting tuples with fresh values (bounded by
+    [depth] rounds), materialise the views, and return the completed
+    instance iff it satisfies every constraint of the schema. *)

@@ -1,0 +1,43 @@
+open Whynot_relational
+
+let head_var = "x0"
+
+let is_pure c =
+  List.for_all
+    (function Ls.Nominal _ -> true | Ls.Proj _ -> false)
+    (Ls.conjuncts c)
+
+let query schema c =
+  let atoms = ref [] in
+  let comparisons = ref [] in
+  List.iteri
+    (fun i conjunct ->
+       match conjunct with
+       | Ls.Nominal v ->
+         comparisons :=
+           { Cq.subject = head_var; op = Cmp_op.Eq; value = v } :: !comparisons
+       | Ls.Proj { rel; attr; sels } ->
+         let arity =
+           match Schema.arity schema rel with
+           | Some k -> k
+           | None ->
+             invalid_arg
+               (Printf.sprintf "To_query.query: undeclared relation %s" rel)
+         in
+         let var_of j =
+           if j = attr then head_var else Printf.sprintf "c%d_%d" i j
+         in
+         let args = List.init arity (fun j -> Cq.Var (var_of (j + 1))) in
+         atoms := { Cq.rel; args } :: !atoms;
+         List.iter
+           (fun (s : Ls.selection) ->
+              comparisons :=
+                { Cq.subject = var_of s.attr; op = s.op; value = s.value }
+                :: !comparisons)
+           sels)
+    (Ls.conjuncts c);
+  Cq.make ~head:[ Cq.Var head_var ] ~atoms:(List.rev !atoms)
+    ~comparisons:(List.rev !comparisons) ()
+
+let ucq schema c =
+  View.unfold_ucq (Schema.views schema) (Ucq.of_cq (query schema c))

@@ -1,0 +1,23 @@
+(** Translation of [L_S] concepts into unary conjunctive queries: the
+    extension [[C]]^I is exactly the answer set of the translated query.
+    Used by the schema-level subsumption deciders. *)
+
+open Whynot_relational
+
+val head_var : string
+(** The distinguished variable of every translated query. *)
+
+val query : Schema.t -> Ls.t -> Cq.t
+(** One atom per [Proj] conjunct, sharing the head variable at the projected
+    position; selections become comparisons; nominals become [=] comparisons
+    on the head variable. A concept with no [Proj] conjunct yields a query
+    with no atoms, which is unsafe — callers must special-case pure
+    concepts (see {!is_pure}).
+    @raise Invalid_argument if a conjunct mentions an undeclared relation. *)
+
+val ucq : Schema.t -> Ls.t -> Ucq.t
+(** {!query}, then unfolded over the schema's view definitions into a UCQ
+    over data relations. *)
+
+val is_pure : Ls.t -> bool
+(** No [Proj] conjunct: [top] or a meet of nominals. *)

@@ -1,0 +1,1 @@
+lib/core/cardinality.ml: Exhaustive Fun Int List Ontology Relation Set Stdlib Tuple Value_set Whynot Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/cardinality.mli: Explanation Ontology Whynot

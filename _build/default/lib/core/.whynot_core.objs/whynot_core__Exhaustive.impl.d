@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Explanation Int List Ontology Option Relation Seq Set Tuple Whynot Whynot_relational

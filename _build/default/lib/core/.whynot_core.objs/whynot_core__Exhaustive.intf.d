@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Explanation Ontology Seq Whynot

@@ -1,0 +1,1 @@
+lib/core/explanation.ml: Format List Ontology Relation Tuple Whynot Whynot_relational

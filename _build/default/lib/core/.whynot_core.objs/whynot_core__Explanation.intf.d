@@ -1,0 +1,1 @@
+lib/core/explanation.mli: Format Ontology Tuple Whynot Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Explanation Instance Irredundant List Logs Ls Lub Ontology Semantics Value Value_set Whynot Whynot_concept Whynot_relational

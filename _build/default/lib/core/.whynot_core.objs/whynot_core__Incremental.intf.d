@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Explanation Value Whynot Whynot_concept Whynot_relational

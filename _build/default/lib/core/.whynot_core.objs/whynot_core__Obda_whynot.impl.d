@@ -1,0 +1,1 @@
+lib/core/obda_whynot.ml: Exhaustive Ontology Result Whynot Whynot_obda

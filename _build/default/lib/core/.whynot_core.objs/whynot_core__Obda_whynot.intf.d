@@ -1,0 +1,1 @@
+lib/core/obda_whynot.mli: Cq Explanation Value Whynot Whynot_dllite Whynot_obda Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/ontology.ml: Format Hashtbl List Schema String Value Value_set Whynot_concept Whynot_dllite Whynot_obda Whynot_relational

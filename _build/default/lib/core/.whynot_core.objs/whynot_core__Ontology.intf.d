@@ -1,0 +1,1 @@
+lib/core/ontology.mli: Format Instance Schema Value Value_set Whynot_concept Whynot_dllite Whynot_obda Whynot_relational

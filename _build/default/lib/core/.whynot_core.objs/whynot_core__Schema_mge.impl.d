@@ -1,0 +1,1 @@
+lib/core/schema_mge.ml: Exhaustive Ontology Whynot

@@ -1,0 +1,1 @@
+lib/core/schema_mge.mli: Explanation Ontology Whynot Whynot_concept Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/shortest.ml: Exhaustive Incremental Instance List Ls Ontology Option Relation Semantics Value_set Whynot Whynot_concept Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/shortest.mli: Explanation Incremental Whynot Whynot_concept Whynot_relational

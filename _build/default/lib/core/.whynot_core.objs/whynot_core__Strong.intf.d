@@ -1,0 +1,1 @@
+lib/core/strong.mli: Explanation Format Whynot Whynot_concept Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/why.ml: Array Cq Incremental Instance Irredundant List Lub Ontology Relation Semantics Tuple Value_set Whynot_concept Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/why.mli: Cq Explanation Incremental Instance Ontology Relation Tuple Value Whynot_concept Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/whynot.ml: Cq Format Instance List Printf Relation Schema Tuple Value_set Whynot_relational

@@ -1,0 +1,1 @@
+lib/core/whynot.mli: Cq Format Instance Relation Schema Tuple Value Value_set Whynot_relational

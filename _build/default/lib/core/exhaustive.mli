@@ -1,0 +1,62 @@
+(** Algorithm 1 (Exhaustive Search) and the decision problems of §5.1, for
+    finite S-ontologies.
+
+    - {!all_mges}: all most-general explanations (Theorem 5.2): EXPTIME in
+      general, PTIME for fixed query arity.
+    - {!exists_explanation}: EXISTENCE-OF-EXPLANATION (Theorem 5.1(2),
+      NP-complete) — decided by a backtracking search with a coverage
+      pruning rule rather than by materialising the whole product.
+    - {!check_mge}: CHECK-MGE (Theorem 5.1(1), PTIME): an explanation is
+      most general iff no single position can be strictly generalised while
+      remaining an explanation (single-position upgrades suffice because
+      componentwise products are monotone).
+    - {!one_mge}: any one most-general explanation, by greedily climbing
+      the subsumption order from any explanation found.
+
+    All functions
+    @raise Invalid_argument when the ontology is infinite. *)
+
+val all_mges : 'c Ontology.t -> Whynot.t -> 'c Explanation.t list
+(** The literal Algorithm 1: generate every candidate per-position tuple
+    whose extensions cover the missing tuple and miss the answers, then
+    discard the non-maximal ones. Returns all MGEs modulo equivalence (the
+    paper keeps equivalent copies; we keep one representative of each
+    equivalence class). *)
+
+val all_mges_unpruned : 'c Ontology.t -> Whynot.t -> 'c Explanation.t list
+(** The same, but without the candidate-deduplication preprocessing — the
+    baseline for the D3 ablation benchmark. *)
+
+val exists_explanation : 'c Ontology.t -> Whynot.t -> bool
+
+val one_mge : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
+
+val check_mge : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool
+
+val is_most_general :
+  'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool
+(** Like {!check_mge} but assumes the argument is already known to be an
+    explanation. *)
+
+val generalise : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> 'c Explanation.t
+(** Climb: repeatedly upgrade single positions to strictly more general
+    concepts while remaining an explanation; the result is most general.
+    @raise Invalid_argument if the input is not an explanation. *)
+
+(** {1 Lazy enumeration}
+
+    Streaming variants that never materialise the candidate product: useful
+    when only the first few (most-general) explanations are wanted. The
+    per-element test for most-generality is local (an explanation is an MGE
+    iff no single position admits a strict upgrade — see {!check_mge}), so
+    the stream needs no global comparison; {!mges_seq} additionally
+    deduplicates equivalent explanations, keeping the representatives seen
+    so far in memory. *)
+
+val explanations_seq : 'c Ontology.t -> Whynot.t -> 'c Explanation.t Seq.t
+(** Every explanation, in product order. *)
+
+val mges_seq : 'c Ontology.t -> Whynot.t -> 'c Explanation.t Seq.t
+(** Every most-general explanation, one representative per equivalence
+    class. Forcing the whole sequence yields the same set as
+    {!all_mges}. *)

@@ -1,0 +1,33 @@
+open Whynot_relational
+
+type 'c t = 'c list
+
+let covers_missing o wn e =
+  List.length e = Whynot.arity wn
+  && List.for_all2 (fun c a -> o.Ontology.mem c a) e (Whynot.missing_values wn)
+
+let kills o e tuple =
+  let values = Tuple.to_list tuple in
+  List.exists2 (fun c v -> not (o.Ontology.mem c v)) e values
+
+let disjoint_from_answers o wn e =
+  Relation.for_all (fun t -> kills o e t) wn.Whynot.answers
+
+let is_explanation o wn e =
+  covers_missing o wn e && disjoint_from_answers o wn e
+
+let less_general o e e' =
+  List.length e = List.length e'
+  && List.for_all2 (fun c c' -> o.Ontology.subsumes c c') e e'
+
+let strictly_less_general o e e' =
+  less_general o e e' && not (less_general o e' e)
+
+let equivalent o e e' = less_general o e e' && less_general o e' e
+
+let pp o ppf e =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       o.Ontology.pp)
+    e

@@ -1,0 +1,32 @@
+(** Explanations and most-general explanations (Definitions 3.2, 3.3).
+
+    An explanation for [a ∉ q(I)] w.r.t. an S-ontology [O] is a tuple of
+    concepts [(C_1, ..., C_m)] such that every [a_i ∈ ext(C_i, I)] and the
+    product of the extensions misses every answer tuple. *)
+
+open Whynot_relational
+
+type 'c t = 'c list
+(** One concept per position of the missing tuple. *)
+
+val covers_missing : 'c Ontology.t -> Whynot.t -> 'c t -> bool
+(** First condition: [a_i ∈ ext(C_i, I)] for every [i]. *)
+
+val kills : 'c Ontology.t -> 'c t -> Tuple.t -> bool
+(** Whether the answer tuple lies {e outside} the product of extensions,
+    i.e. some component of the tuple escapes the corresponding concept. *)
+
+val disjoint_from_answers : 'c Ontology.t -> Whynot.t -> 'c t -> bool
+(** Second condition: the product of extensions misses every answer. *)
+
+val is_explanation : 'c Ontology.t -> Whynot.t -> 'c t -> bool
+
+val less_general : 'c Ontology.t -> 'c t -> 'c t -> bool
+(** [less_general o e e'] iff [e ≤_O e']: componentwise subsumption. *)
+
+val strictly_less_general : 'c Ontology.t -> 'c t -> 'c t -> bool
+(** [e <_O e']: [e ≤_O e'] and not [e' ≤_O e]. *)
+
+val equivalent : 'c Ontology.t -> 'c t -> 'c t -> bool
+
+val pp : 'c Ontology.t -> Format.formatter -> 'c t -> unit

@@ -1,0 +1,98 @@
+open Whynot_relational
+open Whynot_concept
+
+let src = Logs.Src.create "whynot.incremental" ~doc:"Algorithm 2"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type variant =
+  | Selection_free
+  | With_selections
+
+let lub_of = function
+  | Selection_free -> Lub.lub
+  | With_selections -> Lub.lub_sigma ?prune:None
+
+let trivial_explanation wn =
+  List.map Ls.nominal (Whynot.missing_values wn)
+
+let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs
+
+(* The [top] refinement: try to lift single positions to [top] (most general
+   of all concepts), in order. *)
+let try_top o wn e =
+  List.fold_left
+    (fun e j ->
+       let e' = replace_nth e j Ls.top in
+       if Explanation.is_explanation o wn e' then e' else e)
+    e
+    (List.init (List.length e) (fun i -> i))
+
+let one_mge_with_trace ?(variant = Selection_free) ?(order = `Ascending) wn =
+  let lub = lub_of variant in
+  let inst = wn.Whynot.instance in
+  let o = Ontology.of_instance inst in
+  let adom =
+    let asc = Value_set.elements (Instance.adom inst) in
+    match order with `Ascending -> asc | `Descending -> List.rev asc
+  in
+  let m = Whynot.arity wn in
+  let trace = ref [] in
+  let support =
+    Array.of_list (List.map Value_set.singleton (Whynot.missing_values wn))
+  in
+  let concepts = Array.map (fun x -> lub inst x) support in
+  for j = 0 to m - 1 do
+    List.iter
+      (fun b ->
+         if not (Semantics.mem b concepts.(j) inst) then begin
+           let x' = Value_set.add b support.(j) in
+           let c' = lub inst x' in
+           let e' = replace_nth (Array.to_list concepts) j c' in
+           let ok = Explanation.is_explanation o wn e' in
+           trace := (j, b, ok) :: !trace;
+           if ok then begin
+             Log.debug (fun m ->
+                 m "position %d absorbed %s" (j + 1) (Value.to_string b));
+             support.(j) <- x';
+             concepts.(j) <- c'
+           end
+         end)
+      adom
+  done;
+  let e = try_top o wn (Array.to_list concepts) in
+  (e, List.rev !trace)
+
+let one_mge ?(variant = Selection_free) ?(shorten = true) ?order wn =
+  let e, _ = one_mge_with_trace ~variant ?order wn in
+  if shorten then List.map (Irredundant.minimise wn.Whynot.instance) e else e
+
+let check_mge ?(variant = Selection_free) wn e =
+  let lub = lub_of variant in
+  let inst = wn.Whynot.instance in
+  let o = Ontology.of_instance inst in
+  if not (Explanation.is_explanation o wn e) then false
+  else
+    let adom = Value_set.elements (Instance.adom inst) in
+    let ext_set c =
+      match Semantics.extension c inst with
+      | Semantics.All -> None
+      | Semantics.Fin s -> Some s
+    in
+    let improvable j c =
+      match ext_set c with
+      | None -> false (* already top *)
+      | Some ext ->
+        (* (a) absorb a further active-domain constant *)
+        List.exists
+          (fun b ->
+             (not (Value_set.mem b ext))
+             &&
+             let c' = lub inst (Value_set.add b ext) in
+             Explanation.is_explanation o wn (replace_nth e j c'))
+          adom
+        (* (b) jump to top *)
+        || Explanation.is_explanation o wn (replace_nth e j Ls.top)
+    in
+    not (List.exists (fun (j, c) -> improvable j c)
+           (List.mapi (fun j c -> (j, c)) e))

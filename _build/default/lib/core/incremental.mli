@@ -1,0 +1,63 @@
+(** Algorithm 2 (Incremental Search): COMPUTE-ONE-MGE w.r.t. the derived
+    ontology [O_I] (§5.2).
+
+    Starting from the trivial explanation of nominals, the algorithm tries,
+    position by position, to absorb each active-domain constant into the
+    position's support set, replacing the concept with the [lub] of the
+    enlarged set and keeping the change iff the tuple remains an
+    explanation.
+
+    With the selection-free [lub] (Lemma 5.1) this runs in polynomial time
+    and returns a most-general explanation over selection-free [L_S]
+    (Theorem 5.3); with [lubσ] (Lemma 5.2) it returns a most-general
+    explanation over full [L_S] in exponential time — polynomial for
+    bounded schema arity (Theorem 5.4).
+
+    One refinement beyond the paper's pseudo-code: after the main loop we
+    additionally try to replace each concept by [top] (whose extension is
+    the whole infinite domain): [top] is strictly more general than any
+    finite-extension concept even when that concept already covers the whole
+    active domain, and it is not reachable by adding active-domain
+    constants alone. *)
+
+open Whynot_relational
+
+type variant =
+  | Selection_free   (** Lemma 5.1 lubs; Theorem 5.3 *)
+  | With_selections  (** Lemma 5.2 lubs; Theorem 5.4 *)
+
+val one_mge :
+  ?variant:variant ->
+  ?shorten:bool ->
+  ?order:[ `Ascending | `Descending ] ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Explanation.t
+(** A most-general explanation for the why-not instance w.r.t. [O_I] (one
+    always exists: the nominal tuple explains). [shorten] (default true)
+    post-processes each concept with {!Whynot_concept.Irredundant} — a
+    polynomial step that, combined with this algorithm, yields an
+    irredundant most-general explanation (Proposition 6.2 discussion). *)
+
+val one_mge_with_trace :
+  ?variant:variant ->
+  ?order:[ `Ascending | `Descending ] ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Explanation.t * (int * Value.t * bool) list
+(** Like {!one_mge} but also returns the trace of attempted constant
+    absorptions [(position, constant, accepted)]. [order] is the D4
+    ablation knob: the order in which active-domain constants are offered
+    (different orders can reach different — equally most-general —
+    explanations at different costs). *)
+
+val check_mge :
+  ?variant:variant ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Explanation.t ->
+  bool
+(** CHECK-MGE W.R.T. [O_I] (Definition 5.7, Proposition 5.2): the tuple is
+    an explanation and no single position can absorb a further constant
+    (or be replaced by [top]) while remaining one. *)
+
+val trivial_explanation : Whynot.t -> Whynot_concept.Ls.t Explanation.t
+(** The tuple of nominals [({a_1}, ..., {a_m})] — always an explanation
+    w.r.t. [O_I] (§5.2). *)

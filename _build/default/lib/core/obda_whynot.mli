@@ -1,0 +1,27 @@
+(** Why-not questions for queries posed against the ontology (§7).
+
+    In the OBDA setting users may query the ontology's vocabulary rather
+    than the database schema; answers are certain answers, computed by
+    {!Whynot_obda.Rewrite}. The induced ontology then plays both roles:
+    it defines the answers {e and} supplies the concepts of the
+    explanations. *)
+
+open Whynot_relational
+
+val make :
+  Whynot_obda.Induced.t ->
+  query:Cq.t ->
+  missing:Value.t list ->
+  (Whynot.t, string) result
+(** A why-not instance whose answer set is the certain answers of the
+    ontology-level query over the prepared instance. Fails when the query
+    is not over the TBox's signature, when the retrieved assertions are
+    inconsistent (certain answers would be trivial), or when the tuple is
+    among the certain answers. *)
+
+val explain :
+  Whynot_obda.Induced.t ->
+  query:Cq.t ->
+  missing:Value.t list ->
+  (Whynot_dllite.Dl.basic Explanation.t list, string) result
+(** All most-general explanations, over {!Ontology.of_obda}. *)

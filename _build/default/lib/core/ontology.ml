@@ -1,0 +1,142 @@
+open Whynot_relational
+
+type 'c t = {
+  name : string;
+  concepts : 'c list option;
+  subsumes : 'c -> 'c -> bool;
+  mem : 'c -> Value.t -> bool;
+  equal : 'c -> 'c -> bool;
+  pp : Format.formatter -> 'c -> unit;
+}
+
+let equivalent o c1 c2 = o.subsumes c1 c2 && o.subsumes c2 c1
+
+let consistency_violations o probes =
+  match o.concepts with
+  | None ->
+    invalid_arg "Ontology.consistency_violations: infinite ontology"
+  | Some cs ->
+    List.concat_map
+      (fun c1 ->
+         List.filter_map
+           (fun c2 ->
+              if
+                o.subsumes c1 c2
+                && List.exists (fun v -> o.mem c1 v && not (o.mem c2 v)) probes
+              then Some (c1, c2)
+              else None)
+           cs)
+      cs
+
+(* --- hand ontologies (Figure 3) --- *)
+
+let of_extensions ~name ~subsumptions ~extensions =
+  let concepts = List.map fst extensions in
+  (* Reflexive-transitive closure of the direct edges. *)
+  let subsumes c1 c2 =
+    let rec reach seen frontier =
+      match frontier with
+      | [] -> false
+      | c :: rest ->
+        if String.equal c c2 then true
+        else
+          let nexts =
+            List.filter_map
+              (fun (x, y) ->
+                 if String.equal x c && not (List.mem y seen) then Some y
+                 else None)
+              subsumptions
+          in
+          reach (nexts @ seen) (nexts @ rest)
+    in
+    String.equal c1 c2 || reach [ c1 ] [ c1 ]
+  in
+  let mem c v =
+    match List.assoc_opt c extensions with
+    | Some ext -> Value_set.mem v ext
+    | None -> false
+  in
+  {
+    name;
+    concepts = Some concepts;
+    subsumes;
+    mem;
+    equal = String.equal;
+    pp = (fun ppf c -> Format.pp_print_string ppf c);
+  }
+
+(* --- OBDA-induced ontologies (Definition 4.4) --- *)
+
+let of_obda induced =
+  {
+    name = "O_B";
+    concepts = Some (Whynot_obda.Induced.concepts induced);
+    subsumes = Whynot_obda.Induced.subsumes induced;
+    mem =
+      (fun c v ->
+         Value_set.mem v (Whynot_obda.Induced.extension induced c));
+    equal = Whynot_dllite.Dl.equal_basic;
+    pp = Whynot_dllite.Dl.pp_basic;
+  }
+
+(* --- ontologies derived from an instance or a schema (Definition 4.8) --- *)
+
+let of_instance inst =
+  {
+    name = "O_I";
+    concepts = None;
+    subsumes = Whynot_concept.Subsume_inst.subsumes inst;
+    mem = (fun c v -> Whynot_concept.Semantics.mem v c inst);
+    equal = Whynot_concept.Ls.equal;
+    pp = (fun ppf c -> Whynot_concept.Ls.pp () ppf c);
+  }
+
+let of_schema schema inst =
+  (* Schema-level subsumption is costly (containment, counter-model
+     search); the algorithms re-ask the same pairs, so memoise. *)
+  let memo : (Whynot_concept.Ls.t * Whynot_concept.Ls.t, bool) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let subsumes c1 c2 =
+    match Hashtbl.find_opt memo (c1, c2) with
+    | Some r -> r
+    | None ->
+      let r = Whynot_concept.Subsume_schema.subsumes schema c1 c2 in
+      Hashtbl.add memo (c1, c2) r;
+      r
+  in
+  {
+    name = "O_S";
+    concepts = None;
+    subsumes;
+    mem = (fun c v -> Whynot_concept.Semantics.mem v c inst);
+    equal = Whynot_concept.Ls.equal;
+    pp = (fun ppf c -> Whynot_concept.Ls.pp ~schema () ppf c);
+  }
+
+let of_instance_finite inst pool =
+  let base = of_instance inst in
+  {
+    base with
+    name = "O_I[K]";
+    concepts = Some (Whynot_concept.Count.enumerate_selection_free inst pool);
+  }
+
+let minimal_concepts schema pool =
+  Whynot_concept.Ls.top
+  :: List.map Whynot_concept.Ls.nominal (Value_set.elements pool)
+  @ List.map
+      (fun (rel, attr) -> Whynot_concept.Ls.proj ~rel ~attr ())
+      (Schema.positions schema)
+
+let of_schema_finite ?(minimal_only = false) schema inst pool =
+  let base = of_schema schema inst in
+  let concepts =
+    if minimal_only then minimal_concepts schema pool
+    else Whynot_concept.Count.enumerate_selection_free inst pool
+  in
+  {
+    base with
+    name = (if minimal_only then "O_S[K]-min" else "O_S[K]");
+    concepts = Some concepts;
+  }

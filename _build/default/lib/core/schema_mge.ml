@@ -1,0 +1,19 @@
+type fragment =
+  [ `Minimal
+  | `Selection_free
+  ]
+
+let ontology fragment schema wn =
+  let pool = Whynot.constant_pool wn in
+  Ontology.of_schema_finite
+    ~minimal_only:(fragment = `Minimal)
+    schema wn.Whynot.instance pool
+
+let one_mge fragment schema wn =
+  Exhaustive.one_mge (ontology fragment schema wn) wn
+
+let all_mges fragment schema wn =
+  Exhaustive.all_mges (ontology fragment schema wn) wn
+
+let check_mge fragment schema wn e =
+  Exhaustive.check_mge (ontology fragment schema wn) wn e

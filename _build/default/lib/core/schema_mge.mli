@@ -1,0 +1,44 @@
+(** COMPUTE-ONE-MGE and CHECK-MGE with respect to [O_S] (§5.3,
+    Propositions 5.3 and 5.4): materialise the finite restriction
+    [O_S[K]] with [K = adom(I) ∪ {a}] and run the exhaustive machinery.
+
+    The [fragment] selects the concept space: [`Minimal] is the PTIME case
+    of Proposition 5.3 ([L_S^min] with fixed query arity); [`Selection_free]
+    is the EXPTIME case. Schema-level subsumption is delegated to
+    {!Whynot_concept.Subsume_schema}, so for constraint classes where that
+    decider is incomplete (mixtures), "most general" is relative to the
+    derivable subsumptions. *)
+
+type fragment =
+  [ `Minimal
+  | `Selection_free
+  ]
+
+val ontology :
+  fragment ->
+  Whynot_relational.Schema.t ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Ontology.t
+(** The materialised [O_S[K]] for this why-not instance. *)
+
+val one_mge :
+  fragment ->
+  Whynot_relational.Schema.t ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Explanation.t option
+(** An explanation always exists (the nominal tuple), so this returns
+    [Some] unless the fragment excludes the needed nominals — it never does,
+    since nominals are in every fragment. *)
+
+val all_mges :
+  fragment ->
+  Whynot_relational.Schema.t ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Explanation.t list
+
+val check_mge :
+  fragment ->
+  Whynot_relational.Schema.t ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Explanation.t ->
+  bool

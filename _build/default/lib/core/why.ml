@@ -1,0 +1,119 @@
+open Whynot_relational
+open Whynot_concept
+
+type t = {
+  instance : Instance.t;
+  query : Cq.t;
+  answers : Relation.t;
+  witness : Tuple.t;
+}
+
+let make ?answers ~instance ~query ~witness () =
+  let witness = Tuple.of_list witness in
+  if not (Cq.is_safe query) then Error "query is not safe"
+  else if Tuple.arity witness <> Cq.arity query then
+    Error "witness arity differs from the query's"
+  else
+    let answers =
+      match answers with
+      | Some r -> r
+      | None -> Cq.eval query instance
+    in
+    if Relation.mem witness answers then
+      Ok { instance; query; answers; witness }
+    else Error "the witness tuple is not an answer"
+
+let make_exn ?answers ~instance ~query ~witness () =
+  match make ?answers ~instance ~query ~witness () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Why.make_exn: " ^ msg)
+
+(* The product of the extensions must lie inside the answer set. With the
+   abstract membership interface this is checked by enumerating the product
+   over the answer constants plus the witness — sound because extensions of
+   derived concepts live in the active domain (plus nominals), and [All]
+   extensions make the product infinite, hence never inside a finite answer
+   set unless every combination over the probe set is an answer AND the
+   query cannot produce other tuples; we conservatively reject [All] via
+   the probe set as well. *)
+let probe_values t =
+  Value_set.union
+    (Relation.values t.answers)
+    (Value_set.of_list (Tuple.to_list t.witness))
+  |> Value_set.union (Instance.adom t.instance)
+
+let product_inside o t e =
+  let probes = Value_set.elements (probe_values t) in
+  let rec loop prefix = function
+    | [] -> Relation.mem (Tuple.of_list (List.rev prefix)) t.answers
+    | c :: rest ->
+      List.for_all
+        (fun v ->
+           if o.Ontology.mem c v then loop (v :: prefix) rest else true)
+        probes
+  in
+  loop [] e
+
+let covers_witness o t e =
+  List.length e = Tuple.arity t.witness
+  && List.for_all2
+       (fun c v -> o.Ontology.mem c v)
+       e
+       (Tuple.to_list t.witness)
+
+let is_why_explanation o t e = covers_witness o t e && product_inside o t e
+
+let lub_of = function
+  | Incremental.Selection_free -> Lub.lub
+  | Incremental.With_selections -> fun inst x -> Lub.lub_sigma inst x
+
+let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs
+
+let one_mge ?(variant = Incremental.Selection_free) t =
+  let lub = lub_of variant in
+  let inst = t.instance in
+  let o = Ontology.of_instance inst in
+  let adom = Value_set.elements (Instance.adom inst) in
+  let m = Tuple.arity t.witness in
+  let support =
+    Array.of_list (List.map Value_set.singleton (Tuple.to_list t.witness))
+  in
+  let concepts = Array.map (fun x -> lub inst x) support in
+  for j = 0 to m - 1 do
+    List.iter
+      (fun b ->
+         if not (Semantics.mem b concepts.(j) inst) then begin
+           let x' = Value_set.add b support.(j) in
+           let c' = lub inst x' in
+           let e' = replace_nth (Array.to_list concepts) j c' in
+           if is_why_explanation o t e' then begin
+             support.(j) <- x';
+             concepts.(j) <- c'
+           end
+         end)
+      adom
+  done;
+  List.map (Irredundant.minimise inst) (Array.to_list concepts)
+
+let check_mge ?(variant = Incremental.Selection_free) t e =
+  let lub = lub_of variant in
+  let inst = t.instance in
+  let o = Ontology.of_instance inst in
+  if not (is_why_explanation o t e) then false
+  else
+    let adom = Value_set.elements (Instance.adom inst) in
+    let improvable j c =
+      match Semantics.extension c inst with
+      | Semantics.All -> false
+      | Semantics.Fin ext ->
+        List.exists
+          (fun b ->
+             (not (Value_set.mem b ext))
+             &&
+             let c' = lub inst (Value_set.add b ext) in
+             is_why_explanation o t (replace_nth e j c'))
+          adom
+    in
+    not
+      (List.exists (fun (j, c) -> improvable j c)
+         (List.mapi (fun j c -> (j, c)) e))

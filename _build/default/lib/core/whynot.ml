@@ -1,0 +1,52 @@
+open Whynot_relational
+
+type t = {
+  schema : Schema.t option;
+  instance : Instance.t;
+  query : Cq.t;
+  answers : Relation.t;
+  missing : Tuple.t;
+}
+
+let make ?schema ?answers ~instance ~query ~missing () =
+  let missing = Tuple.of_list missing in
+  if not (Cq.is_safe query) then Error "query is not safe"
+  else if Tuple.arity missing <> Cq.arity query then
+    Error
+      (Printf.sprintf "missing tuple has arity %d, query has arity %d"
+         (Tuple.arity missing) (Cq.arity query))
+  else
+    let answers =
+      match answers with
+      | Some r -> r
+      | None -> Cq.eval query instance
+    in
+    if Relation.mem missing answers then
+      Error "tuple is not missing: it belongs to the answer set"
+    else
+      match schema with
+      | None -> Ok { schema; instance; query; answers; missing }
+      | Some s ->
+        (match Schema.satisfies s instance with
+         | Ok () -> Ok { schema; instance; query; answers; missing }
+         | Error msg -> Error ("instance violates schema: " ^ msg))
+
+let make_exn ?schema ?answers ~instance ~query ~missing () =
+  match make ?schema ?answers ~instance ~query ~missing () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Whynot.make_exn: " ^ msg)
+
+let arity t = Tuple.arity t.missing
+
+let missing_values t = Tuple.to_list t.missing
+
+let constant_pool t =
+  List.fold_left
+    (fun acc v -> Value_set.add v acc)
+    (Instance.adom t.instance)
+    (missing_values t)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>why-not %a?@,query: %a@,answers: %d tuple(s)@]" Tuple.pp t.missing
+    Cq.pp t.query (Relation.cardinal t.answers)

@@ -1,0 +1,44 @@
+(** Why-not instances (Definition 5.1): a quintuple [(S, I, q, Ans, a)] with
+    [Ans = q(I)] and [a ∉ q(I)]. The answer set is part of the input — it
+    is assumed to have been computed a priori — so the constructor either
+    takes it or evaluates the query once. *)
+
+open Whynot_relational
+
+type t = private {
+  schema : Schema.t option;
+  instance : Instance.t;
+  query : Cq.t;
+  answers : Relation.t;
+  missing : Tuple.t;
+}
+
+val make :
+  ?schema:Schema.t ->
+  ?answers:Relation.t ->
+  instance:Instance.t ->
+  query:Cq.t ->
+  missing:Value.t list ->
+  unit ->
+  (t, string) result
+(** Checks that the query is safe, the missing tuple has the query's arity
+    and is not among the answers, and (when a schema is supplied) that the
+    instance satisfies it. [answers] defaults to [q(I)]. *)
+
+val make_exn :
+  ?schema:Schema.t ->
+  ?answers:Relation.t ->
+  instance:Instance.t ->
+  query:Cq.t ->
+  missing:Value.t list ->
+  unit ->
+  t
+
+val arity : t -> int
+
+val missing_values : t -> Value.t list
+
+val constant_pool : t -> Value_set.t
+(** [K = adom(I) ∪ {a_1, ..., a_m}] (Proposition 5.1). *)
+
+val pp : Format.formatter -> t -> unit

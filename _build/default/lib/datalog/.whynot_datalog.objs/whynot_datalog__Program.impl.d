@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Cmp_op Cq Format Hashtbl Instance List Option Relation String Tuple Ucq Value View Whynot_relational

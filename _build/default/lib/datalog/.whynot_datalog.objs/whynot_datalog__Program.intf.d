@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Cq Format Instance View Whynot_relational

@@ -1,0 +1,1 @@
+lib/dllite/abox.ml: Dl Format Interp List Printf Reasoner Value Value_set Whynot_relational

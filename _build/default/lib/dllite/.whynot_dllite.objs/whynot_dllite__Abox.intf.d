@@ -1,0 +1,1 @@
+lib/dllite/abox.mli: Dl Format Interp Reasoner Value Value_set Whynot_relational

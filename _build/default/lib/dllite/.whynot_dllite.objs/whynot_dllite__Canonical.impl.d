@@ -1,0 +1,1 @@
+lib/dllite/canonical.ml: Dl Interp List Printf Reasoner Tbox Value Whynot_relational

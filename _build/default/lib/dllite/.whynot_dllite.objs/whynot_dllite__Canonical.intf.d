@@ -1,0 +1,1 @@
+lib/dllite/canonical.mli: Dl Interp Reasoner Value Whynot_relational

@@ -1,0 +1,1 @@
+lib/dllite/dl.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/dllite/dl.mli: Format

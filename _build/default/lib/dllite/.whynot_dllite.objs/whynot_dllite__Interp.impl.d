@@ -1,0 +1,1 @@
+lib/dllite/interp.ml: Dl Instance List Map Option Set String Tbox Value Value_set Whynot_relational

@@ -1,0 +1,1 @@
+lib/dllite/interp.mli: Dl Tbox Value Value_set Whynot_relational

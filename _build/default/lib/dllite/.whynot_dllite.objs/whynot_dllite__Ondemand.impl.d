@@ -1,0 +1,1 @@
+lib/dllite/ondemand.ml: Dl List Set Tbox

@@ -1,0 +1,1 @@
+lib/dllite/ondemand.mli: Dl Tbox

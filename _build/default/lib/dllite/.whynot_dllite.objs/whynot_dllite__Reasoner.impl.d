@@ -1,0 +1,1 @@
+lib/dllite/reasoner.ml: Dl List Set Tbox

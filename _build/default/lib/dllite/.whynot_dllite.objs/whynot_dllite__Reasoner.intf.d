@@ -1,0 +1,1 @@
+lib/dllite/reasoner.mli: Dl Tbox

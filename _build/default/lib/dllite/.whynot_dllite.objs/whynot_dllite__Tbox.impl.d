@@ -1,0 +1,1 @@
+lib/dllite/tbox.ml: Dl Format List Set String

@@ -1,0 +1,1 @@
+lib/dllite/tbox.mli: Dl Format

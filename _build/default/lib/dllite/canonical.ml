@@ -1,0 +1,71 @@
+open Whynot_relational
+
+let element_in_layer layer b =
+  Value.Str (Printf.sprintf "x%d:%s" layer (Dl.basic_to_string b))
+
+let element b = element_in_layer 0 b
+
+(* Three-layer filtration: one element per satisfiable basic concept and
+   layer in {0,1,2}; existential witnesses of layer-i elements live in layer
+   i+1 (mod 3). Three layers (not one or two) are needed so that no role
+   extension ever contains a self-loop or a symmetric pair unless derivable —
+   e.g. [∃P ⊑ ∃P⁻] together with [P ⊑ ¬P⁻] is satisfied by a directed
+   3-cycle but by no 1- or 2-layer filtration. *)
+let build r =
+  let sat_basics =
+    List.filter (fun b -> not (Reasoner.unsatisfiable r b)) (Reasoner.universe r)
+  in
+  let tb = Reasoner.tbox r in
+  let atoms = Tbox.atomic_concepts tb in
+  let atomic_roles = Tbox.atomic_roles tb in
+  let layers = [ 0; 1; 2 ] in
+  (* Concept memberships, identical in every layer. *)
+  let interp =
+    List.fold_left
+      (fun interp b ->
+         List.fold_left
+           (fun interp a ->
+              if Reasoner.subsumes r b (Dl.Atom a) then
+                List.fold_left
+                  (fun interp layer ->
+                     Interp.add_concept_member a (element_in_layer layer b) interp)
+                  interp layers
+              else interp)
+           interp atoms)
+      Interp.empty sat_basics
+  in
+  (* Role edges: for T ⊨ B ⊑ ∃R, each x_B^i gets an R-edge to
+     x_{∃R⁻}^{i+1 mod 3}, closed under the role hierarchy. *)
+  let add_edge interp role src dst =
+    match role with
+    | Dl.Named p -> Interp.add_role_edge p src dst interp
+    | Dl.Inv p -> Interp.add_role_edge p dst src interp
+  in
+  let all_roles =
+    List.concat_map (fun p -> [ Dl.Named p; Dl.Inv p ]) atomic_roles
+  in
+  List.fold_left
+    (fun interp b ->
+       List.fold_left
+         (fun interp role ->
+            if
+              Reasoner.subsumes r b (Dl.Exists role)
+              && not (Reasoner.role_unsatisfiable r role)
+            then
+              List.fold_left
+                (fun interp layer ->
+                   let src = element_in_layer layer b in
+                   let dst =
+                     element_in_layer ((layer + 1) mod 3)
+                       (Dl.Exists (Dl.inv role))
+                   in
+                   List.fold_left
+                     (fun interp super ->
+                        if Reasoner.role_subsumes r role super then
+                          add_edge interp super src dst
+                        else interp)
+                     interp all_roles)
+                interp layers
+            else interp)
+         interp all_roles)
+    interp sat_basics

@@ -1,0 +1,23 @@
+(** Finite canonical models for DL-LiteR TBoxes, by filtration.
+
+    The interpretation has one element [x_B] per satisfiable basic concept
+    [B] of the signature; [x_B] belongs to an atomic concept [A] iff
+    [T ⊨ B ⊑ A], and has an [R]-edge to [x_{∃R⁻}] for every role [R] with
+    [T ⊨ B ⊑ ∃R] (edges closed under the role hierarchy).
+
+    This is a model of all *positive* axioms of the TBox and realises each
+    satisfiable [B] by an element whose derived concept memberships are
+    exactly the subsumers of [B] — which makes it a counter-model generator:
+    if [T ⊭ B1 ⊑ B2] then [x_{B1} ∈ B1 \ B2].
+
+    Negative axioms are satisfied too whenever the TBox is coherent (no
+    satisfiable concept is forced into disjoint concepts), which the
+    saturation guarantees; the test-suite checks this. *)
+
+open Whynot_relational
+
+val element : Dl.basic -> Value.t
+(** The constant naming [x_B]. *)
+
+val build : Reasoner.t -> Interp.t
+(** The filtrated canonical interpretation of the saturated TBox. *)

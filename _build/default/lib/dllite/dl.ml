@@ -1,0 +1,44 @@
+type role =
+  | Named of string
+  | Inv of string
+
+type basic =
+  | Atom of string
+  | Exists of role
+
+type concept =
+  | B of basic
+  | Not of basic
+
+type role_expr =
+  | R of role
+  | NotR of role
+
+let inv = function
+  | Named p -> Inv p
+  | Inv p -> Named p
+
+let role_name = function
+  | Named p | Inv p -> p
+
+let compare_role r1 r2 = Stdlib.compare r1 r2
+let compare_basic b1 b2 = Stdlib.compare b1 b2
+let equal_basic b1 b2 = compare_basic b1 b2 = 0
+
+let pp_role ppf = function
+  | Named p -> Format.pp_print_string ppf p
+  | Inv p -> Format.fprintf ppf "%s-" p
+
+let pp_basic ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | Exists r -> Format.fprintf ppf "exists %a" pp_role r
+
+let pp_concept ppf = function
+  | B b -> pp_basic ppf b
+  | Not b -> Format.fprintf ppf "not %a" pp_basic b
+
+let pp_role_expr ppf = function
+  | R r -> pp_role ppf r
+  | NotR r -> Format.fprintf ppf "not %a" pp_role r
+
+let basic_to_string b = Format.asprintf "%a" pp_basic b

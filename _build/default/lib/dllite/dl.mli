@@ -1,0 +1,42 @@
+(** Syntax of DL-LiteR (Definition 4.1).
+
+    Fixing atomic concepts and atomic roles, the grammar is
+
+    {v
+      basic role        R ::= P | P-
+      basic concept     B ::= A | exists R
+      concept           C ::= B | not B
+      role expression   E ::= R | not R
+    v} *)
+
+type role =
+  | Named of string    (** an atomic role [P] *)
+  | Inv of string      (** the inverse [P-] *)
+
+type basic =
+  | Atom of string     (** an atomic concept [A] *)
+  | Exists of role     (** unqualified existential [exists R] *)
+
+type concept =
+  | B of basic
+  | Not of basic
+
+type role_expr =
+  | R of role
+  | NotR of role
+
+val inv : role -> role
+(** [inv (Named P) = Inv P] and vice versa. *)
+
+val role_name : role -> string
+
+val compare_role : role -> role -> int
+val compare_basic : basic -> basic -> int
+val equal_basic : basic -> basic -> bool
+
+val pp_role : Format.formatter -> role -> unit
+val pp_basic : Format.formatter -> basic -> unit
+val pp_concept : Format.formatter -> concept -> unit
+val pp_role_expr : Format.formatter -> role_expr -> unit
+
+val basic_to_string : basic -> string

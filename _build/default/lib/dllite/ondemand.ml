@@ -1,0 +1,152 @@
+module B_set = Set.Make (struct
+    type t = Dl.basic
+    let compare = Dl.compare_basic
+  end)
+
+module R_set = Set.Make (struct
+    type t = Dl.role
+    let compare = Dl.compare_role
+  end)
+
+(* Direct positive role edges (one step), closed under inverses. *)
+let role_successors tbox r =
+  List.filter_map
+    (fun ax ->
+       match ax with
+       | Tbox.Role_incl (r1, Dl.R r2) ->
+         if Dl.compare_role r1 r = 0 then Some r2
+         else if Dl.compare_role (Dl.inv r1) r = 0 then Some (Dl.inv r2)
+         else None
+       | _ -> None)
+    (Tbox.axioms tbox)
+
+(* Reflexive-transitive role upset by BFS. *)
+let role_upset tbox r =
+  let rec loop frontier seen =
+    match frontier with
+    | [] -> seen
+    | x :: rest ->
+      let nexts =
+        List.filter (fun y -> not (R_set.mem y seen)) (role_successors tbox x)
+      in
+      loop (nexts @ rest) (List.fold_left (fun s y -> R_set.add y s) seen nexts)
+  in
+  loop [ r ] (R_set.singleton r)
+
+(* Direct positive concept edges from a basic concept: declared inclusions
+   plus the role-hierarchy-induced edges between unqualified existentials. *)
+let concept_successors tbox b =
+  let declared =
+    List.filter_map
+      (fun ax ->
+         match ax with
+         | Tbox.Concept_incl (lhs, Dl.B rhs) when Dl.equal_basic lhs b ->
+           Some rhs
+         | _ -> None)
+      (Tbox.axioms tbox)
+  in
+  let via_roles =
+    match b with
+    | Dl.Exists r ->
+      R_set.elements (role_upset tbox r)
+      |> List.filter_map (fun r' ->
+          if Dl.compare_role r r' = 0 then None else Some (Dl.Exists r'))
+    | Dl.Atom _ -> []
+  in
+  declared @ via_roles
+
+let concept_upset tbox b =
+  let rec loop frontier seen =
+    match frontier with
+    | [] -> seen
+    | x :: rest ->
+      let nexts =
+        List.filter (fun y -> not (B_set.mem y seen)) (concept_successors tbox x)
+      in
+      loop (nexts @ rest) (List.fold_left (fun s y -> B_set.add y s) seen nexts)
+  in
+  loop [ b ] (B_set.singleton b)
+
+(* Declared disjointness lifted through upsets: x clashes iff two declared-
+   disjoint concepts both subsume it, i.e. both appear in its upset. *)
+let direct_concept_clash tbox upset_x =
+  List.exists
+    (fun ax ->
+       match ax with
+       | Tbox.Concept_incl (c1, Dl.Not c2) ->
+         B_set.mem c1 upset_x && B_set.mem c2 upset_x
+       | _ -> false)
+    (Tbox.axioms tbox)
+
+let role_direct_unsat tbox r =
+  let up = role_upset tbox r in
+  List.exists
+    (fun ax ->
+       match ax with
+       | Tbox.Role_incl (r1, Dl.NotR r2) ->
+         (R_set.mem r1 up && R_set.mem r2 up)
+         || (R_set.mem (Dl.inv r1) up && R_set.mem (Dl.inv r2) up)
+       | _ -> false)
+    (Tbox.axioms tbox)
+
+let unsatisfiable tbox b =
+  (* Localised fixpoint: the set of basic concepts relevant to [b]'s
+     (un)satisfiability — its upset, closed under the domain/range coupling
+     of existentials. *)
+  let add_coupled set =
+    B_set.fold
+      (fun x acc ->
+         match x with
+         | Dl.Exists r -> B_set.add (Dl.Exists (Dl.inv r)) acc
+         | Dl.Atom _ -> acc)
+      set set
+  in
+  let rec closure set =
+    let bigger =
+      B_set.fold
+        (fun x acc -> B_set.union acc (concept_upset tbox x))
+        set set
+      |> add_coupled
+    in
+    if B_set.equal bigger set then set else closure bigger
+  in
+  let relevant = closure (B_set.singleton b) in
+  let upsets =
+    B_set.fold
+      (fun x acc -> (x, concept_upset tbox x) :: acc)
+      relevant []
+  in
+  let initially_unsat x =
+    let up = List.assoc x upsets in
+    direct_concept_clash tbox up
+    || (match x with
+        | Dl.Exists r -> role_direct_unsat tbox r
+        | Dl.Atom _ -> false)
+  in
+  let rec fix unsat =
+    let unsat' =
+      B_set.fold
+        (fun x acc ->
+           if B_set.mem x acc then acc
+           else
+             let up = List.assoc x upsets in
+             let via_upset = B_set.exists (fun y -> B_set.mem y acc) up in
+             let via_coupling =
+               match x with
+               | Dl.Exists r -> B_set.mem (Dl.Exists (Dl.inv r)) acc
+               | Dl.Atom _ -> false
+             in
+             if via_upset || via_coupling then B_set.add x acc else acc)
+        relevant unsat
+    in
+    if B_set.equal unsat unsat' then unsat else fix unsat'
+  in
+  let init =
+    B_set.filter initially_unsat relevant
+  in
+  B_set.mem b (fix init)
+
+let subsumes tbox b1 b2 =
+  Dl.equal_basic b1 b2
+  || B_set.mem b2 (concept_upset tbox b1)
+  || unsatisfiable tbox b1

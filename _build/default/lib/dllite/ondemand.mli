@@ -1,0 +1,18 @@
+(** On-demand DL-LiteR subsumption — the D1 ablation counterpart of
+    {!Reasoner}.
+
+    Instead of materialising the full saturation up front, a single
+    subsumption query [T ⊨ B1 ⊑ B2] is answered by a breadth-first search
+    over the positive-inclusion graph (concept axioms, plus the edges
+    induced by the role hierarchy), with unsatisfiable sources detected by
+    a bounded search for a disjointness witness. Asymptotically each query
+    costs what one saturation pass costs, but no quadratic closure is
+    stored; the break-even against {!Reasoner} (saturate once, then O(1)
+    lookups) is measured by the benchmark harness.
+
+    Agreement with {!Reasoner.subsumes} is property-tested on random
+    TBoxes. *)
+
+val subsumes : Tbox.t -> Dl.basic -> Dl.basic -> bool
+
+val unsatisfiable : Tbox.t -> Dl.basic -> bool

@@ -1,0 +1,241 @@
+module B_pair = struct
+  type t = Dl.basic * Dl.basic
+  let compare (a1, b1) (a2, b2) =
+    let c = Dl.compare_basic a1 a2 in
+    if c <> 0 then c else Dl.compare_basic b1 b2
+end
+
+module BP_set = Set.Make (B_pair)
+
+module R_pair = struct
+  type t = Dl.role * Dl.role
+  let compare (a1, b1) (a2, b2) =
+    let c = Dl.compare_role a1 a2 in
+    if c <> 0 then c else Dl.compare_role b1 b2
+end
+
+module RP_set = Set.Make (R_pair)
+
+module B_set = Set.Make (struct
+    type t = Dl.basic
+    let compare = Dl.compare_basic
+  end)
+
+module R_set = Set.Make (struct
+    type t = Dl.role
+    let compare = Dl.compare_role
+  end)
+
+type t = {
+  tbox : Tbox.t;
+  universe : Dl.basic list;
+  roles : Dl.role list;
+  pos : BP_set.t;        (* positive concept closure, reflexive *)
+  neg : BP_set.t;        (* derived disjointness, symmetric *)
+  role_pos : RP_set.t;   (* positive role closure, reflexive *)
+  role_neg : RP_set.t;   (* role disjointness, symmetric *)
+  unsat : B_set.t;
+  role_unsat : R_set.t;
+}
+
+let tbox s = s.tbox
+let universe s = s.universe
+
+(* Least fixpoint of a monotone step function on sets. *)
+let fix equal step init =
+  let rec loop x =
+    let x' = step x in
+    if equal x x' then x else loop x'
+  in
+  loop init
+
+let saturate tb =
+  let universe = Tbox.basic_concepts tb in
+  let roles =
+    List.concat_map
+      (fun p -> [ Dl.Named p; Dl.Inv p ])
+      (Tbox.atomic_roles tb)
+  in
+  let axioms = Tbox.axioms tb in
+  (* --- role closures --- *)
+  let role_pos_base =
+    List.fold_left
+      (fun acc ax ->
+         match ax with
+         | Tbox.Role_incl (r1, Dl.R r2) ->
+           RP_set.add (r1, r2) (RP_set.add (Dl.inv r1, Dl.inv r2) acc)
+         | _ -> acc)
+      RP_set.empty axioms
+  in
+  let role_pos_base =
+    List.fold_left (fun acc r -> RP_set.add (r, r) acc) role_pos_base roles
+  in
+  let role_pos =
+    fix RP_set.equal
+      (fun s ->
+         RP_set.fold
+           (fun (r1, r2) acc ->
+              RP_set.fold
+                (fun (r2', r3) acc ->
+                   if Dl.compare_role r2 r2' = 0 then RP_set.add (r1, r3) acc
+                   else acc)
+                s acc)
+           s s)
+      role_pos_base
+  in
+  let role_neg_base =
+    List.fold_left
+      (fun acc ax ->
+         match ax with
+         | Tbox.Role_incl (r1, Dl.NotR r2) ->
+           acc
+           |> RP_set.add (r1, r2) |> RP_set.add (r2, r1)
+           |> RP_set.add (Dl.inv r1, Dl.inv r2)
+           |> RP_set.add (Dl.inv r2, Dl.inv r1)
+         | _ -> acc)
+      RP_set.empty axioms
+  in
+  (* close downward: R ⊑ R1, R' ⊑ R2, R1 disj R2 => R disj R'. *)
+  let role_neg =
+    RP_set.fold
+      (fun (r1, r2) acc ->
+         RP_set.fold
+           (fun (r, r1') acc ->
+              if Dl.compare_role r1 r1' <> 0 then acc
+              else
+                RP_set.fold
+                  (fun (r', r2') acc ->
+                     if Dl.compare_role r2 r2' <> 0 then acc
+                     else RP_set.add (r, r') (RP_set.add (r', r) acc))
+                  role_pos acc)
+           role_pos acc)
+      role_neg_base role_neg_base
+  in
+  (* --- positive concept closure --- *)
+  let pos_base =
+    List.fold_left
+      (fun acc ax ->
+         match ax with
+         | Tbox.Concept_incl (b1, Dl.B b2) -> BP_set.add (b1, b2) acc
+         | _ -> acc)
+      BP_set.empty axioms
+  in
+  let pos_base =
+    RP_set.fold
+      (fun (r1, r2) acc ->
+         acc
+         |> BP_set.add (Dl.Exists r1, Dl.Exists r2)
+         |> BP_set.add (Dl.Exists (Dl.inv r1), Dl.Exists (Dl.inv r2)))
+      role_pos pos_base
+  in
+  let pos_base =
+    List.fold_left (fun acc b -> BP_set.add (b, b) acc) pos_base universe
+  in
+  let pos =
+    fix BP_set.equal
+      (fun s ->
+         BP_set.fold
+           (fun (b1, b2) acc ->
+              BP_set.fold
+                (fun (b2', b3) acc ->
+                   if Dl.equal_basic b2 b2' then BP_set.add (b1, b3) acc
+                   else acc)
+                s acc)
+           s s)
+      pos_base
+  in
+  (* --- disjointness --- *)
+  let neg_base =
+    List.fold_left
+      (fun acc ax ->
+         match ax with
+         | Tbox.Concept_incl (b1, Dl.Not b2) ->
+           BP_set.add (b1, b2) (BP_set.add (b2, b1) acc)
+         | _ -> acc)
+      BP_set.empty axioms
+  in
+  (* close downward under pos: B ⊑ B1, B' ⊑ B2, B1 disj B2 => B disj B'. *)
+  let neg =
+    BP_set.fold
+      (fun (b1, b2) acc ->
+         BP_set.fold
+           (fun (b, b1') acc ->
+              if not (Dl.equal_basic b1 b1') then acc
+              else
+                BP_set.fold
+                  (fun (b', b2') acc ->
+                     if not (Dl.equal_basic b2 b2') then acc
+                     else BP_set.add (b, b') (BP_set.add (b', b) acc))
+                  pos acc)
+           pos acc)
+      neg_base neg_base
+  in
+  (* --- unsatisfiable concepts and roles --- *)
+  let unsat0 =
+    List.fold_left
+      (fun acc b -> if BP_set.mem (b, b) neg then B_set.add b acc else acc)
+      B_set.empty universe
+  in
+  let role_unsat0 =
+    List.fold_left
+      (fun acc r -> if RP_set.mem (r, r) role_neg then R_set.add r acc else acc)
+      R_set.empty roles
+  in
+  let step (unsat, role_unsat) =
+    (* A role is unsatisfiable iff its domain or range is; then both are. *)
+    let role_unsat =
+      List.fold_left
+        (fun acc r ->
+           if B_set.mem (Dl.Exists r) unsat || B_set.mem (Dl.Exists (Dl.inv r)) unsat
+           then R_set.add r (R_set.add (Dl.inv r) acc)
+           else acc)
+        role_unsat roles
+    in
+    (* Backward along role_pos: R1 ⊑ R2 and R2 unsat => R1 unsat. *)
+    let role_unsat =
+      RP_set.fold
+        (fun (r1, r2) acc ->
+           if R_set.mem r2 acc then R_set.add r1 acc else acc)
+        role_pos role_unsat
+    in
+    let unsat =
+      R_set.fold
+        (fun r acc -> B_set.add (Dl.Exists r) acc)
+        role_unsat unsat
+    in
+    (* Backward along pos: B ⊑ B' and B' unsat => B unsat. *)
+    let unsat =
+      BP_set.fold
+        (fun (b1, b2) acc ->
+           if B_set.mem b2 acc then B_set.add b1 acc else acc)
+        pos unsat
+    in
+    (unsat, role_unsat)
+  in
+  let unsat, role_unsat =
+    fix
+      (fun (u1, r1) (u2, r2) -> B_set.equal u1 u2 && R_set.equal r1 r2)
+      step (unsat0, role_unsat0)
+  in
+  { tbox = tb; universe; roles; pos; neg; role_pos; role_neg; unsat; role_unsat }
+
+let unsatisfiable s b = B_set.mem b s.unsat
+
+let subsumes s b1 b2 =
+  Dl.equal_basic b1 b2 || unsatisfiable s b1 || BP_set.mem (b1, b2) s.pos
+
+let disjoint s b1 b2 =
+  unsatisfiable s b1 || unsatisfiable s b2 || BP_set.mem (b1, b2) s.neg
+
+let role_unsatisfiable s r = R_set.mem r s.role_unsat
+
+let role_subsumes s r1 r2 =
+  Dl.compare_role r1 r2 = 0 || role_unsatisfiable s r1
+  || RP_set.mem (r1, r2) s.role_pos
+
+let role_disjoint s r1 r2 =
+  role_unsatisfiable s r1 || role_unsatisfiable s r2
+  || RP_set.mem (r1, r2) s.role_neg
+
+let subsumers s b = List.filter (fun b' -> subsumes s b b') s.universe
+let subsumees s b = List.filter (fun b' -> subsumes s b' b) s.universe

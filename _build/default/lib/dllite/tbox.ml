@@ -1,0 +1,77 @@
+type axiom =
+  | Concept_incl of Dl.basic * Dl.concept
+  | Role_incl of Dl.role * Dl.role_expr
+
+type t = { axioms : axiom list }
+
+let make axioms = { axioms }
+
+let axioms t = t.axioms
+
+module Str_set = Set.Make (String)
+
+let concept_atoms acc = function
+  | Dl.Atom a -> Str_set.add a acc
+  | Dl.Exists _ -> acc
+
+let concept_roles acc = function
+  | Dl.Atom _ -> acc
+  | Dl.Exists r -> Str_set.add (Dl.role_name r) acc
+
+let fold_basics f acc t =
+  List.fold_left
+    (fun acc ax ->
+       match ax with
+       | Concept_incl (b, Dl.B b') | Concept_incl (b, Dl.Not b') ->
+         f (f acc b) b'
+       | Role_incl _ -> acc)
+    acc t.axioms
+
+let fold_roles f acc t =
+  List.fold_left
+    (fun acc ax ->
+       match ax with
+       | Concept_incl (b, Dl.B b') | Concept_incl (b, Dl.Not b') ->
+         let add acc = function
+           | Dl.Exists r -> f acc r
+           | Dl.Atom _ -> acc
+         in
+         add (add acc b) b'
+       | Role_incl (r, Dl.R r') | Role_incl (r, Dl.NotR r') -> f (f acc r) r')
+    acc t.axioms
+
+let atomic_concepts t =
+  Str_set.elements (fold_basics concept_atoms Str_set.empty t)
+
+let atomic_roles t =
+  let from_basics = fold_basics concept_roles Str_set.empty t in
+  Str_set.elements
+    (fold_roles (fun acc r -> Str_set.add (Dl.role_name r) acc) from_basics t)
+
+let basic_concepts t =
+  List.map (fun a -> Dl.Atom a) (atomic_concepts t)
+  @ List.concat_map
+      (fun p -> [ Dl.Exists (Dl.Named p); Dl.Exists (Dl.Inv p) ])
+      (atomic_roles t)
+
+let occurring_basic_concepts t =
+  let module B_set = Set.Make (struct
+      type t = Dl.basic
+      let compare = Dl.compare_basic
+    end)
+  in
+  let set = fold_basics (fun acc b -> B_set.add b acc) B_set.empty t in
+  B_set.elements set
+
+let size t = List.length t.axioms
+
+let pp_axiom ppf = function
+  | Concept_incl (b, c) ->
+    Format.fprintf ppf "%a [= %a" Dl.pp_basic b Dl.pp_concept c
+  | Role_incl (r, e) ->
+    Format.fprintf ppf "%a [= %a" Dl.pp_role r Dl.pp_role_expr e
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:Format.pp_print_cut
+    pp_axiom ppf t.axioms

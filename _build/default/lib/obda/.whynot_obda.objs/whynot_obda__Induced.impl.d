@@ -1,0 +1,1 @@
+lib/obda/induced.ml: Dl Format Instance Interp List Printf Reasoner Spec Tbox Value Value_set Whynot_dllite Whynot_relational

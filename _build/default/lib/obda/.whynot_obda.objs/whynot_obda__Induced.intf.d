@@ -1,0 +1,1 @@
+lib/obda/induced.mli: Dl Instance Interp Reasoner Spec Value Value_set Whynot_dllite Whynot_relational

@@ -1,0 +1,1 @@
+lib/obda/mapping.ml: Cq Format Relation String Tuple Whynot_dllite Whynot_relational

@@ -1,0 +1,1 @@
+lib/obda/mapping.mli: Cq Format Instance Whynot_dllite Whynot_relational

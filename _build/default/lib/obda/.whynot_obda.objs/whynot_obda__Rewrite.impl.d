@@ -1,0 +1,1 @@
+lib/obda/rewrite.ml: Cq Dl Hashtbl Induced Interp List Option Printf Spec Stdlib String Tbox Ucq Value Whynot_dllite Whynot_relational

@@ -1,0 +1,1 @@
+lib/obda/rewrite.mli: Cq Induced Relation Ucq Whynot_dllite Whynot_relational

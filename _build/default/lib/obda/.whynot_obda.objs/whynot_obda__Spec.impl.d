@@ -1,0 +1,1 @@
+lib/obda/spec.ml: Cq Format Interp List Mapping Printf Schema Tbox Whynot_dllite Whynot_relational

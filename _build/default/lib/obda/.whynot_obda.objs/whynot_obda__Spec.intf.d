@@ -1,0 +1,1 @@
+lib/obda/spec.mli: Format Instance Interp Mapping Schema Tbox Whynot_dllite Whynot_relational

@@ -1,0 +1,130 @@
+open Whynot_relational
+open Whynot_dllite
+
+type t = {
+  spec : Spec.t;
+  reasoner : Reasoner.t;
+  retrieved : Interp.t;
+  instance : Instance.t;
+  mutable ext_cache : (Dl.basic * Value_set.t) list;
+}
+
+let prepare spec inst =
+  {
+    spec;
+    reasoner = Reasoner.saturate (Spec.tbox spec);
+    retrieved = Spec.retrieve spec inst;
+    instance = inst;
+    ext_cache = [];
+  }
+
+let instance t = t.instance
+
+let reasoner t = t.reasoner
+let spec t = t.spec
+let retrieved t = t.retrieved
+
+let concepts t = Tbox.occurring_basic_concepts (Spec.tbox t.spec)
+
+let subsumes t b1 b2 = Reasoner.subsumes t.reasoner b1 b2
+
+(* All basic concepts with a non-empty retrieved (pre-closure) extension,
+   with those extensions. *)
+let base_extensions t =
+  let tb = Spec.tbox t.spec in
+  let atoms = Tbox.atomic_concepts tb in
+  let roles = Tbox.atomic_roles tb in
+  let of_atom a = (Dl.Atom a, Interp.concept_ext t.retrieved (Dl.Atom a)) in
+  let of_role p =
+    [
+      (Dl.Exists (Dl.Named p), Interp.concept_ext t.retrieved (Dl.Exists (Dl.Named p)));
+      (Dl.Exists (Dl.Inv p), Interp.concept_ext t.retrieved (Dl.Exists (Dl.Inv p)));
+    ]
+  in
+  List.map of_atom atoms @ List.concat_map of_role roles
+
+let extension t c =
+  match
+    List.find_opt (fun (c', _) -> Dl.equal_basic c c') t.ext_cache
+  with
+  | Some (_, ext) -> ext
+  | None ->
+    let ext =
+      List.fold_left
+        (fun acc (b0, base) ->
+           if Reasoner.subsumes t.reasoner b0 c then Value_set.union base acc
+           else acc)
+        Value_set.empty (base_extensions t)
+    in
+    t.ext_cache <- (c, ext) :: t.ext_cache;
+    ext
+
+let base_concepts_of t v =
+  List.filter_map
+    (fun (b, ext) -> if Value_set.mem v ext then Some b else None)
+    (base_extensions t)
+
+let consistent t =
+  let bases = base_extensions t in
+  (* Derived basic-concept memberships per constant must avoid derived
+     disjointness; it suffices to check the base concepts pairwise, since
+     the disjointness relation is already closed downward under ⊑. *)
+  let concept_clash =
+    List.find_map
+      (fun (b1, ext1) ->
+         List.find_map
+           (fun (b2, ext2) ->
+              if Reasoner.disjoint t.reasoner b1 b2 then
+                match Value_set.choose_opt (Value_set.inter ext1 ext2) with
+                | Some c ->
+                  Some
+                    (Format.asprintf "%a is asserted into disjoint %a and %a"
+                       Value.pp c Dl.pp_basic b1 Dl.pp_basic b2)
+                | None -> None
+              else None)
+           bases)
+      bases
+  in
+  match concept_clash with
+  | Some msg -> Error msg
+  | None ->
+    let unsat_clash =
+      List.find_map
+        (fun (b, ext) ->
+           if Reasoner.unsatisfiable t.reasoner b && not (Value_set.is_empty ext)
+           then Some (Format.asprintf "non-empty unsatisfiable concept %a" Dl.pp_basic b)
+           else None)
+        bases
+    in
+    (match unsat_clash with
+     | Some msg -> Error msg
+     | None ->
+       (* Role disjointness on retrieved edges. *)
+       let roles = Tbox.atomic_roles (Spec.tbox t.spec) in
+       let edge_clash =
+         List.find_map
+           (fun p1 ->
+              List.find_map
+                (fun p2 ->
+                   if
+                     Reasoner.role_disjoint t.reasoner (Dl.Named p1) (Dl.Named p2)
+                     && List.exists
+                          (fun e ->
+                             List.mem e (Interp.role_ext t.retrieved (Dl.Named p2)))
+                          (Interp.role_ext t.retrieved (Dl.Named p1))
+                   then Some (Printf.sprintf "edge in disjoint roles %s, %s" p1 p2)
+                   else
+                     if
+                       Reasoner.role_disjoint t.reasoner (Dl.Named p1) (Dl.Inv p2)
+                       && List.exists
+                            (fun e ->
+                               List.mem e (Interp.role_ext t.retrieved (Dl.Inv p2)))
+                            (Interp.role_ext t.retrieved (Dl.Named p1))
+                     then Some (Printf.sprintf "edge in disjoint roles %s, %s-" p1 p2)
+                     else None)
+                roles)
+           roles
+       in
+       (match edge_clash with
+        | Some msg -> Error msg
+        | None -> Ok ()))

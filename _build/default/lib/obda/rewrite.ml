@@ -1,0 +1,227 @@
+open Whynot_relational
+open Whynot_dllite
+
+let is_ontology_query tbox (q : Cq.t) =
+  let concepts = Tbox.atomic_concepts tbox in
+  let roles = Tbox.atomic_roles tbox in
+  List.for_all
+    (fun (a : Cq.atom) ->
+       match a.Cq.args with
+       | [ _ ] -> List.mem a.Cq.rel concepts
+       | [ _; _ ] -> List.mem a.Cq.rel roles
+       | _ -> false)
+    q.Cq.atoms
+
+(* --- boundness --- *)
+
+let occurrences (q : Cq.t) =
+  let tbl = Hashtbl.create 16 in
+  let bump = function
+    | Cq.Var v ->
+      Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v))
+    | Cq.Const _ -> ()
+  in
+  List.iter bump q.Cq.head;
+  (* Head occurrences count twice so head variables are always bound. *)
+  List.iter bump q.Cq.head;
+  List.iter (fun (a : Cq.atom) -> List.iter bump a.Cq.args) q.Cq.atoms;
+  tbl
+
+let is_bound occ = function
+  | Cq.Const _ -> true
+  | Cq.Var v -> Option.value ~default:0 (Hashtbl.find_opt occ v) > 1
+
+(* --- atom rewriting by a positive inclusion --- *)
+
+let fresh_counter = ref 0
+
+let fresh_var () =
+  incr fresh_counter;
+  Cq.Var (Printf.sprintf "_%d" !fresh_counter)
+
+(* Replacement atoms for the basic concept [lhs] applied at argument [t]. *)
+let atom_of_basic lhs t =
+  match lhs with
+  | Dl.Atom a1 -> { Cq.rel = a1; args = [ t ] }
+  | Dl.Exists (Dl.Named p1) -> { Cq.rel = p1; args = [ t; fresh_var () ] }
+  | Dl.Exists (Dl.Inv p1) -> { Cq.rel = p1; args = [ fresh_var (); t ] }
+
+(* All single-step rewritings of atom [g] (at occurrence-index [i] in [q])
+   by the TBox's positive inclusions. *)
+let atom_rewritings tbox occ (g : Cq.atom) =
+  let axioms = Tbox.axioms tbox in
+  match g.Cq.args with
+  | [ t ] ->
+    (* Concept atom A(t). *)
+    List.filter_map
+      (fun ax ->
+         match ax with
+         | Tbox.Concept_incl (lhs, Dl.B (Dl.Atom a)) when String.equal a g.Cq.rel ->
+           Some (atom_of_basic lhs t)
+         | _ -> None)
+      axioms
+  | [ t1; t2 ] ->
+    (* Role atom P(t1, t2). *)
+    let role_rewrites =
+      List.filter_map
+        (fun ax ->
+           match ax with
+           | Tbox.Role_incl (r1, Dl.R r2) ->
+             (match r2 with
+              | Dl.Named p when String.equal p g.Cq.rel ->
+                Some
+                  (match r1 with
+                   | Dl.Named p1 -> { Cq.rel = p1; args = [ t1; t2 ] }
+                   | Dl.Inv p1 -> { Cq.rel = p1; args = [ t2; t1 ] })
+              | Dl.Inv p when String.equal p g.Cq.rel ->
+                Some
+                  (match r1 with
+                   | Dl.Named p1 -> { Cq.rel = p1; args = [ t2; t1 ] }
+                   | Dl.Inv p1 -> { Cq.rel = p1; args = [ t1; t2 ] })
+              | _ -> None)
+           | _ -> None)
+        axioms
+    in
+    let concept_rewrites =
+      List.filter_map
+        (fun ax ->
+           match ax with
+           | Tbox.Concept_incl (lhs, Dl.B (Dl.Exists r)) ->
+             (match r with
+              | Dl.Named p when String.equal p g.Cq.rel && not (is_bound occ t2) ->
+                Some (atom_of_basic lhs t1)
+              | Dl.Inv p when String.equal p g.Cq.rel && not (is_bound occ t1) ->
+                Some (atom_of_basic lhs t2)
+              | _ -> None)
+           | _ -> None)
+        axioms
+    in
+    role_rewrites @ concept_rewrites
+  | _ -> []
+
+(* --- reduce: unify two atoms of a disjunct --- *)
+
+let unify_atoms (a1 : Cq.atom) (a2 : Cq.atom) =
+  if not (String.equal a1.Cq.rel a2.Cq.rel)
+     || List.length a1.Cq.args <> List.length a2.Cq.args
+  then None
+  else
+    let apply subst = function
+      | Cq.Var v as t ->
+        (match List.assoc_opt v subst with Some t' -> t' | None -> t)
+      | Cq.Const _ as t -> t
+    in
+    let rec solve subst = function
+      | [] -> Some subst
+      | (t1, t2) :: rest ->
+        let t1 = apply subst t1 and t2 = apply subst t2 in
+        (match t1, t2 with
+         | Cq.Const c1, Cq.Const c2 ->
+           if Value.equal c1 c2 then solve subst rest else None
+         | Cq.Var v, t | t, Cq.Var v ->
+           if t = Cq.Var v then solve subst rest
+           else
+             let subst =
+               (v, t) :: List.map (fun (x, u) -> (x, apply [ (v, t) ] u)) subst
+             in
+             solve subst rest)
+    in
+    solve [] (List.combine a1.Cq.args a2.Cq.args)
+
+let reduce_steps (q : Cq.t) =
+  let n = List.length q.Cq.atoms in
+  let results = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a1 = List.nth q.Cq.atoms i and a2 = List.nth q.Cq.atoms j in
+      match unify_atoms a1 a2 with
+      | None -> ()
+      | Some subst ->
+        let q' = Cq.substitute subst q in
+        (* Drop the now-duplicate atom. *)
+        let atoms = List.sort_uniq Stdlib.compare q'.Cq.atoms in
+        results :=
+          Cq.make ~head:q'.Cq.head ~atoms ~comparisons:q'.Cq.comparisons ()
+          :: !results
+    done
+  done;
+  !results
+
+(* --- canonical form for deduplication --- *)
+
+let canonical (q : Cq.t) =
+  let rename q =
+    let mapping = Hashtbl.create 16 in
+    let next = ref 0 in
+    let rn = function
+      | Cq.Const _ as t -> t
+      | Cq.Var v ->
+        (match Hashtbl.find_opt mapping v with
+         | Some v' -> Cq.Var v'
+         | None ->
+           let v' = Printf.sprintf "v%d" !next in
+           incr next;
+           Hashtbl.add mapping v v';
+           Cq.Var v')
+    in
+    let head = List.map rn q.Cq.head in
+    let atoms =
+      List.map (fun (a : Cq.atom) -> { a with Cq.args = List.map rn a.Cq.args })
+        q.Cq.atoms
+    in
+    Cq.make ~head ~atoms ~comparisons:q.Cq.comparisons ()
+  in
+  let sort q =
+    Cq.make ~head:q.Cq.head
+      ~atoms:(List.sort_uniq Stdlib.compare q.Cq.atoms)
+      ~comparisons:q.Cq.comparisons ()
+  in
+  (* Rename, sort, rename, sort: a cheap approximate canonicaliser that is
+     stable for the query shapes PerfectRef produces. *)
+  sort (rename (sort (rename q)))
+
+let max_rewriting_set = 20_000
+
+let rewrite tbox q =
+  let seen = Hashtbl.create 64 in
+  let key q = canonical q in
+  let add q frontier =
+    let k = key q in
+    if Hashtbl.mem seen k then frontier
+    else begin
+      Hashtbl.add seen k ();
+      k :: frontier
+    end
+  in
+  let rec saturate frontier acc =
+    if List.length acc > max_rewriting_set then acc
+    else
+      match frontier with
+      | [] -> acc
+      | q :: rest ->
+        let occ = occurrences q in
+        let one_step =
+          List.concat
+            (List.mapi
+               (fun i (g : Cq.atom) ->
+                  List.map
+                    (fun g' ->
+                       let atoms =
+                         List.mapi (fun j a -> if j = i then g' else a) q.Cq.atoms
+                       in
+                       Cq.make ~head:q.Cq.head ~atoms
+                         ~comparisons:q.Cq.comparisons ())
+                    (atom_rewritings tbox occ g))
+               q.Cq.atoms)
+          @ reduce_steps q
+        in
+        let frontier' = List.fold_left (fun f q' -> add q' f) rest one_step in
+        saturate frontier' (q :: acc)
+  in
+  let q0 = key q in
+  Hashtbl.add seen q0 ();
+  Ucq.make (List.rev (saturate [ q0 ] []))
+
+let certain_answers induced q =
+  let abox_instance = Interp.to_instance (Induced.retrieved induced) in
+  Ucq.eval (rewrite (Spec.tbox (Induced.spec induced)) q) abox_instance

@@ -1,0 +1,38 @@
+(** PerfectRef: certain answers for conjunctive queries posed against the
+    ontology of an OBDA specification.
+
+    The paper's §7 suggests applying the why-not framework "to queries
+    posed against the ontology in an OBDA setting"; this module supplies
+    the missing machinery — the classical query-rewriting algorithm for
+    DL-LiteR (Calvanese et al. 2007, cited as [12]): a CQ over atomic
+    concepts (unary atoms [A(x)]) and atomic roles (binary atoms
+    [P(x, y)]) is rewritten, using the TBox's positive inclusions, into a
+    UCQ whose evaluation over the retrieved assertions computes the
+    certain answers.
+
+    Rewriting steps, per disjunct and atom:
+    - {b atom rewriting} by an applicable positive inclusion, e.g.
+      [A1 ⊑ A] turns [A(x)] into [A1(x)]; [A ⊑ ∃P] turns [P(x, y)] with
+      [y] unbound into [A(x)]; role inclusions rewrite role atoms
+      (possibly swapping arguments for inverses);
+    - {b reduce}: unifying two atoms of one disjunct, which can render
+      variables unbound and enable further rewritings (needed for joins
+      that travel through existentially implied role edges).
+
+    The certain-answer semantics assumes the retrieved assertions are
+    consistent with the TBox ({!Induced.consistent}). *)
+
+open Whynot_relational
+
+val is_ontology_query : Whynot_dllite.Tbox.t -> Cq.t -> bool
+(** All atoms are unary over atomic concepts or binary over atomic roles of
+    the TBox's signature. *)
+
+val rewrite : Whynot_dllite.Tbox.t -> Cq.t -> Ucq.t
+(** The perfect rewriting. Terminates (the disjunct count is bounded by the
+    signature); disjuncts are deduplicated modulo variable renaming. *)
+
+val certain_answers : Induced.t -> Cq.t -> Relation.t
+(** Evaluate the rewriting over the prepared instance's retrieved
+    assertions. (Ontology-level why-not questions are assembled in
+    {!Whynot_core.Obda_whynot}.) *)

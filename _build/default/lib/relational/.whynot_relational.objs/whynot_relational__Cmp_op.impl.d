@@ -1,0 +1,1 @@
+lib/relational/cmp_op.ml: Format Value

@@ -1,0 +1,1 @@
+lib/relational/containment.ml: Cq Interval List Relation Ucq Value Value_set

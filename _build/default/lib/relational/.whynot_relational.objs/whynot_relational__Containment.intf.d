@@ -1,0 +1,1 @@
+lib/relational/containment.mli: Cq Instance Tuple Ucq Value_set

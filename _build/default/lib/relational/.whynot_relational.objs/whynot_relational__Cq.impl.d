@@ -1,0 +1,1 @@
+lib/relational/cq.ml: Cmp_op Format Instance Interval List Option Relation Stdlib String Tuple Value Value_set

@@ -1,0 +1,1 @@
+lib/relational/cq.mli: Cmp_op Format Instance Interval Relation Tuple Value Value_set

@@ -1,0 +1,1 @@
+lib/relational/fd.ml: Format Int List Relation Set Stdlib String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/fd.mli: Format Relation Tuple

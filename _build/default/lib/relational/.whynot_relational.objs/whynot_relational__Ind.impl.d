@@ -1,0 +1,1 @@
+lib/relational/ind.ml: Format List Relation Set Stdlib Tuple

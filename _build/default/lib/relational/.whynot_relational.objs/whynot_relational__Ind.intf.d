@@ -1,0 +1,1 @@
+lib/relational/ind.mli: Format Relation Tuple

@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Format List Map Relation String Tuple Value_set

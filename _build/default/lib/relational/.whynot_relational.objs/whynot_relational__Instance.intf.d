@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Format Relation Tuple Value Value_set

@@ -1,0 +1,1 @@
+lib/relational/interval.ml: Cmp_op Format Option Value

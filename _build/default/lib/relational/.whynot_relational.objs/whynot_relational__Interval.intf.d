@@ -1,0 +1,1 @@
+lib/relational/interval.mli: Cmp_op Format Value

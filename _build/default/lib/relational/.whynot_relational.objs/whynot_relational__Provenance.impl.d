@@ -1,0 +1,1 @@
+lib/relational/provenance.ml: Cq Format Instance List Stdlib String Tuple Ucq Value View

@@ -1,0 +1,1 @@
+lib/relational/provenance.mli: Cq Format Instance Tuple Value View

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Cmp_op Format List Printf Set Stdlib Tuple Value_set

@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Cmp_op Format Tuple Value Value_set

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Fd Format Ind Instance List Option Printf Relation Result String Ucq View

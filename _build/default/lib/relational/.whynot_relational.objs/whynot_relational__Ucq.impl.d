@@ -1,0 +1,1 @@
+lib/relational/ucq.ml: Cq Format List Relation String Value_set

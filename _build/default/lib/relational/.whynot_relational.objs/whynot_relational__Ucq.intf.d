@@ -1,0 +1,1 @@
+lib/relational/ucq.mli: Cq Format Instance Relation Value_set

@@ -1,0 +1,1 @@
+lib/relational/value_set.ml: Format List Set Value

@@ -1,0 +1,1 @@
+lib/relational/value_set.mli: Format Set Value

@@ -1,0 +1,1 @@
+lib/relational/view.ml: Cmp_op Cq Format Instance List Printf Set String Ucq Value

@@ -1,0 +1,1 @@
+lib/relational/view.mli: Cq Format Instance Ucq

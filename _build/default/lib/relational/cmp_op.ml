@@ -1,0 +1,34 @@
+type t =
+  | Eq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+
+let eval op v c =
+  let d = Value.compare v c in
+  match op with
+  | Eq -> d = 0
+  | Lt -> d < 0
+  | Gt -> d > 0
+  | Le -> d <= 0
+  | Ge -> d >= 0
+
+let to_string = function
+  | Eq -> "="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let of_string = function
+  | "=" -> Some Eq
+  | "<" -> Some Lt
+  | ">" -> Some Gt
+  | "<=" -> Some Le
+  | ">=" -> Some Ge
+  | _ -> None
+
+let all = [ Eq; Lt; Gt; Le; Ge ]

@@ -1,0 +1,280 @@
+type term =
+  | Var of string
+  | Const of Value.t
+
+type atom = {
+  rel : string;
+  args : term list;
+}
+
+type comparison = {
+  subject : string;
+  op : Cmp_op.t;
+  value : Value.t;
+}
+
+type t = {
+  head : term list;
+  atoms : atom list;
+  comparisons : comparison list;
+}
+
+let make ~head ~atoms ?(comparisons = []) () = { head; atoms; comparisons }
+
+let arity q = List.length q.head
+
+let add_var seen acc = function
+  | Const _ -> (seen, acc)
+  | Var v -> if List.mem v seen then (seen, acc) else (v :: seen, v :: acc)
+
+let vars q =
+  let step (seen, acc) t = add_var seen acc t in
+  let seen, acc = List.fold_left step ([], []) q.head in
+  let seen, acc =
+    List.fold_left
+      (fun st atom -> List.fold_left step st atom.args)
+      (seen, acc) q.atoms
+  in
+  let _, acc =
+    List.fold_left (fun st c -> step st (Var c.subject)) (seen, acc)
+      q.comparisons
+  in
+  List.rev acc
+
+let body_vars q =
+  let step (seen, acc) t = add_var seen acc t in
+  let _, acc =
+    List.fold_left
+      (fun st atom -> List.fold_left step st atom.args)
+      ([], []) q.atoms
+  in
+  List.rev acc
+
+let head_vars q =
+  let step (seen, acc) t = add_var seen acc t in
+  let _, acc = List.fold_left step ([], []) q.head in
+  List.rev acc
+
+let is_safe q =
+  let bv = body_vars q in
+  List.for_all (fun v -> List.mem v bv) (head_vars q)
+  && List.for_all (fun c -> List.mem c.subject bv) q.comparisons
+
+let constants q =
+  let add acc = function
+    | Const v -> Value_set.add v acc
+    | Var _ -> acc
+  in
+  let acc = List.fold_left add Value_set.empty q.head in
+  let acc =
+    List.fold_left
+      (fun acc atom -> List.fold_left add acc atom.args)
+      acc q.atoms
+  in
+  List.fold_left (fun acc c -> Value_set.add c.value acc) acc q.comparisons
+
+let rename_apart ~suffix q =
+  let rt = function
+    | Var v -> Var (v ^ suffix)
+    | Const _ as t -> t
+  in
+  {
+    head = List.map rt q.head;
+    atoms = List.map (fun a -> { a with args = List.map rt a.args }) q.atoms;
+    comparisons =
+      List.map (fun c -> { c with subject = c.subject ^ suffix })
+        q.comparisons;
+  }
+
+(* A variable with contradictory comparisons, used to mark queries made
+   unsatisfiable by substitution. *)
+let falsum_var = "__false__"
+
+let falsum_comparisons =
+  [
+    { subject = falsum_var; op = Cmp_op.Lt; value = Value.Int 0 };
+    { subject = falsum_var; op = Cmp_op.Gt; value = Value.Int 0 };
+  ]
+
+let substitute subst q =
+  let st = function
+    | Var v as t ->
+      (match List.assoc_opt v subst with Some t' -> t' | None -> t)
+    | Const _ as t -> t
+  in
+  let head = List.map st q.head in
+  let atoms =
+    List.map (fun a -> { a with args = List.map st a.args }) q.atoms
+  in
+  let ok = ref true in
+  let comparisons =
+    List.filter_map
+      (fun c ->
+         match List.assoc_opt c.subject subst with
+         | None -> Some c
+         | Some (Var v') -> Some { c with subject = v' }
+         | Some (Const value) ->
+           if Cmp_op.eval c.op value c.value then None
+           else (
+             ok := false;
+             None))
+      q.comparisons
+  in
+  let comparisons =
+    if !ok then comparisons else falsum_comparisons @ comparisons
+  in
+  { head; atoms; comparisons }
+
+let var_interval q v =
+  List.fold_left
+    (fun acc c ->
+       if String.equal c.subject v then
+         Interval.meet acc (Interval.of_condition c.op c.value)
+       else acc)
+    Interval.top q.comparisons
+
+let is_unsatisfiable_syntactic q =
+  List.exists
+    (fun v -> Interval.is_empty (var_interval q v))
+    (List.sort_uniq String.compare (List.map (fun c -> c.subject) q.comparisons))
+
+(* Evaluation: backtracking join. Bindings are association lists
+   variable -> value. Comparisons are checked as soon as their subject is
+   bound; comparisons whose subject never gets bound (unsafe query) make the
+   query fail. *)
+
+let check_comparisons q binding =
+  List.for_all
+    (fun c ->
+       match List.assoc_opt c.subject binding with
+       | Some v -> Cmp_op.eval c.op v c.value
+       | None -> true (* not yet bound; rechecked at the end *))
+    q.comparisons
+
+let fully_checked q binding =
+  List.for_all
+    (fun c ->
+       match List.assoc_opt c.subject binding with
+       | Some v -> Cmp_op.eval c.op v c.value
+       | None -> false)
+    q.comparisons
+
+let unify_atom binding atom tuple =
+  let rec loop binding args i =
+    match args with
+    | [] -> Some binding
+    | arg :: rest ->
+      let v = Tuple.get tuple i in
+      (match arg with
+       | Const c -> if Value.equal c v then loop binding rest (i + 1) else None
+       | Var x ->
+         (match List.assoc_opt x binding with
+          | Some v' ->
+            if Value.equal v v' then loop binding rest (i + 1) else None
+          | None -> loop ((x, v) :: binding) rest (i + 1)))
+  in
+  loop binding atom.args 1
+
+let satisfying_bindings q inst =
+  let results = ref [] in
+  let rec search binding = function
+    | [] -> if fully_checked q binding then results := binding :: !results
+    | atom :: rest ->
+      let r =
+        Instance.relation_or_empty inst ~arity:(List.length atom.args) atom.rel
+      in
+      Relation.iter
+        (fun tuple ->
+           match unify_atom binding atom tuple with
+           | Some binding' ->
+             if check_comparisons q binding' then search binding' rest
+           | None -> ())
+        r
+  in
+  if q.comparisons = [] && q.atoms = [] then [ [] ]
+  else begin
+    search [] q.atoms;
+    !results
+  end
+
+let eval q inst =
+  let k = arity q in
+  let project binding =
+    let component = function
+      | Const v -> Some v
+      | Var x -> List.assoc_opt x binding
+    in
+    match List.map component q.head with
+    | comps when List.for_all Option.is_some comps ->
+      Some (Tuple.of_list (List.map Option.get comps))
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc binding ->
+       match project binding with
+       | Some t -> Relation.add t acc
+       | None -> acc)
+    (Relation.empty ~arity:k)
+    (satisfying_bindings q inst)
+
+let holds q inst = not (Relation.is_empty (eval q inst))
+
+let eval_assignments q inst =
+  let qvars = vars q in
+  List.filter_map
+    (fun binding ->
+       let restricted =
+         List.filter_map
+           (fun v ->
+              Option.map (fun value -> (v, value)) (List.assoc_opt v binding))
+           qvars
+       in
+       if List.length restricted = List.length qvars then Some restricted
+       else None)
+    (satisfying_bindings q inst)
+  |> List.sort_uniq Stdlib.compare
+
+let freeze ~fresh q =
+  let term_value = function
+    | Const v -> v
+    | Var x -> fresh x
+  in
+  let inst =
+    List.fold_left
+      (fun inst atom ->
+         Instance.add_fact atom.rel (List.map term_value atom.args) inst)
+      Instance.empty q.atoms
+  in
+  (inst, Tuple.of_list (List.map term_value q.head))
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Value.pp ppf c
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_term)
+    a.args
+
+let pp_comparison ppf c =
+  Format.fprintf ppf "%s %a %a" c.subject Cmp_op.pp c.op Value.pp c.value
+
+let pp ppf q =
+  let pp_body ppf () =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+      pp_atom ppf q.atoms;
+    if q.comparisons <> [] then begin
+      if q.atoms <> [] then Format.pp_print_string ppf " & ";
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+        pp_comparison ppf q.comparisons
+    end
+  in
+  Format.fprintf ppf "(%a) <- %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_term)
+    q.head pp_body ()

@@ -1,0 +1,88 @@
+(** Conjunctive queries with comparisons to constants (§2).
+
+    A CQ is [exists y. phi(x, y)] where [phi] is a conjunction of relational
+    atoms plus comparisons of the form [v op c] with [op] in
+    [{=, <, >, <=, >=}] and [c] a constant. Comparisons between variables are
+    not allowed, following the paper. Answers are computed under the usual
+    active-domain/safe semantics: every head variable and every compared
+    variable must occur in some relational atom. *)
+
+type term =
+  | Var of string
+  | Const of Value.t
+
+type atom = {
+  rel : string;
+  args : term list;
+}
+
+type comparison = {
+  subject : string;  (** the compared variable *)
+  op : Cmp_op.t;
+  value : Value.t;
+}
+
+type t = {
+  head : term list;       (** answer tuple; constants allowed *)
+  atoms : atom list;
+  comparisons : comparison list;
+}
+
+val make :
+  head:term list -> atoms:atom list -> ?comparisons:comparison list -> unit -> t
+
+val arity : t -> int
+
+val vars : t -> string list
+(** All variables, in first-occurrence order (head, then atoms, then
+    comparisons). *)
+
+val body_vars : t -> string list
+(** Variables occurring in relational atoms. *)
+
+val head_vars : t -> string list
+
+val is_safe : t -> bool
+(** Head variables and compared variables all occur in relational atoms. *)
+
+val constants : t -> Value_set.t
+(** Constants occurring anywhere in the query. *)
+
+val rename_apart : suffix:string -> t -> t
+(** Append [suffix] to every variable name (standardising apart). *)
+
+val substitute : (string * term) list -> t -> t
+(** Replace variables by terms throughout (head, atoms). Comparisons on a
+    variable substituted by a constant are evaluated away; if one fails the
+    resulting query is unsatisfiable, represented by a comparison both
+    [< c] and [> c] on a dummy variable — use {!is_unsatisfiable_syntactic}
+    or evaluation to detect. Substituting a compared variable by another
+    variable transfers the comparison. *)
+
+val var_interval : t -> string -> Interval.t
+(** The interval implied by the query's comparisons on the given variable
+    ({!Interval.top} when unconstrained). *)
+
+val is_unsatisfiable_syntactic : t -> bool
+(** True when some variable's comparisons are jointly unsatisfiable or a head
+    constant... (conservative check: only comparisons are inspected). *)
+
+val eval : t -> Instance.t -> Relation.t
+(** All answers over the instance (set semantics). A Boolean query (empty
+    head) evaluates to the arity-0 relation containing the empty tuple iff
+    the query holds. *)
+
+val holds : t -> Instance.t -> bool
+(** [holds q inst]: the Boolean version — is [eval] non-empty? *)
+
+val eval_assignments : t -> Instance.t -> (string * Value.t) list list
+(** Satisfying assignments restricted to {!vars} (used by GAV mappings). *)
+
+val freeze : fresh:(string -> Value.t) -> t -> Instance.t * Tuple.t
+(** Canonical instance: replace each variable [v] by [fresh v] and return the
+    resulting facts plus the frozen head tuple. Ignores comparisons — callers
+    that need comparison-aware canonical instances should use
+    {!Containment}. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_term : Format.formatter -> term -> unit

@@ -1,0 +1,59 @@
+type t = {
+  rel : string;
+  lhs : int list;
+  rhs : int list;
+}
+
+let normalise attrs = List.sort_uniq Stdlib.compare attrs
+
+let make ~rel ~lhs ~rhs = { rel; lhs = normalise lhs; rhs = normalise rhs }
+
+let agree_on attrs t1 t2 =
+  List.for_all (fun a -> Value.equal (Tuple.get t1 a) (Tuple.get t2 a)) attrs
+
+let violations fd r =
+  let tuples = Relation.to_list r in
+  let rec pairs acc = function
+    | [] -> acc
+    | t1 :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc t2 ->
+             if agree_on fd.lhs t1 t2 && not (agree_on fd.rhs t1 t2) then
+               (t1, t2) :: acc
+             else acc)
+          acc rest
+      in
+      pairs acc rest
+  in
+  pairs [] tuples
+
+let satisfied_in fd r = violations fd r = []
+
+let closure fds ~rel xs =
+  let fds = List.filter (fun fd -> String.equal fd.rel rel) fds in
+  let module S = Set.Make (Int) in
+  let rec fix set =
+    let set' =
+      List.fold_left
+        (fun set fd ->
+           if List.for_all (fun a -> S.mem a set) fd.lhs then
+             List.fold_left (fun set a -> S.add a set) set fd.rhs
+           else set)
+        set fds
+    in
+    if S.equal set set' then set else fix set'
+  in
+  S.elements (fix (S.of_list xs))
+
+let implies fds fd =
+  let cl = closure fds ~rel:fd.rel fd.lhs in
+  List.for_all (fun a -> List.mem a cl) fd.rhs
+
+let pp ppf fd =
+  let pp_attrs =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Format.pp_print_int
+  in
+  Format.fprintf ppf "%s : %a -> %a" fd.rel pp_attrs fd.lhs pp_attrs fd.rhs

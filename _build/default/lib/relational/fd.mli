@@ -1,0 +1,26 @@
+(** Functional dependencies [R : X -> Y], where [X], [Y] are sets of 1-based
+    attributes of [R] (§2 of the paper). *)
+
+type t = {
+  rel : string;        (** relation name *)
+  lhs : int list;      (** determining attributes [X] *)
+  rhs : int list;      (** determined attributes [Y] *)
+}
+
+val make : rel:string -> lhs:int list -> rhs:int list -> t
+(** Normalises both sides (sorted, deduplicated). *)
+
+val satisfied_in : t -> Relation.t -> bool
+(** Whether the relation (assumed to be [R]'s extension) satisfies the FD. *)
+
+val violations : t -> Relation.t -> (Tuple.t * Tuple.t) list
+(** Pairs of tuples witnessing a violation (empty iff satisfied). *)
+
+val closure : t list -> rel:string -> int list -> int list
+(** [closure fds ~rel xs]: the attribute-set closure of [xs] under the FDs on
+    [rel] (Armstrong axioms — the standard linear-pass algorithm). *)
+
+val implies : t list -> t -> bool
+(** [implies fds fd]: logical implication of FDs, via {!closure}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  lhs_rel : string;
+  lhs_attrs : int list;
+  rhs_rel : string;
+  rhs_attrs : int list;
+}
+
+let make ~lhs_rel ~lhs_attrs ~rhs_rel ~rhs_attrs =
+  if List.length lhs_attrs <> List.length rhs_attrs then
+    invalid_arg "Ind.make: attribute lists of different lengths";
+  { lhs_rel; lhs_attrs; rhs_rel; rhs_attrs }
+
+let violations ind ~lhs ~rhs =
+  let projected_rhs = Relation.project ind.rhs_attrs rhs in
+  Relation.fold
+    (fun t acc ->
+       let p = Tuple.proj ind.lhs_attrs t in
+       if Relation.mem p projected_rhs then acc else p :: acc)
+    lhs []
+
+let satisfied_in ind ~lhs ~rhs = violations ind ~lhs ~rhs = []
+
+let unary_edges inds =
+  List.concat_map
+    (fun ind ->
+       List.map2
+         (fun a b -> ((ind.lhs_rel, a), (ind.rhs_rel, b)))
+         ind.lhs_attrs ind.rhs_attrs)
+    inds
+
+let unary_reachable inds start =
+  let edges = unary_edges inds in
+  let module S = Set.Make (struct
+      type t = string * int
+      let compare = Stdlib.compare
+    end)
+  in
+  let rec loop frontier seen =
+    match frontier with
+    | [] -> S.elements seen
+    | p :: rest ->
+      let nexts =
+        List.filter_map
+          (fun (src, dst) ->
+             if src = p && not (S.mem dst seen) then Some dst else None)
+          edges
+      in
+      loop (nexts @ rest) (List.fold_left (fun s d -> S.add d s) seen nexts)
+  in
+  loop [ start ] (S.singleton start)
+
+let pp ppf ind =
+  let pp_attrs =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Format.pp_print_int
+  in
+  Format.fprintf ppf "%s[%a] <= %s[%a]" ind.lhs_rel pp_attrs ind.lhs_attrs
+    ind.rhs_rel pp_attrs ind.rhs_attrs

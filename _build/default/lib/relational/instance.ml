@@ -1,0 +1,61 @@
+module Str_map = Map.Make (String)
+
+type t = Relation.t Str_map.t
+
+let empty = Str_map.empty
+
+let add_relation name r inst = Str_map.add name r inst
+
+let add_fact name vs inst =
+  let tuple = Tuple.of_list vs in
+  let r =
+    match Str_map.find_opt name inst with
+    | Some r -> r
+    | None -> Relation.empty ~arity:(Tuple.arity tuple)
+  in
+  Str_map.add name (Relation.add tuple r) inst
+
+let of_facts groups =
+  List.fold_left
+    (fun inst (name, rows) ->
+       List.fold_left (fun inst row -> add_fact name row inst) inst rows)
+    empty groups
+
+let relation inst name = Str_map.find_opt name inst
+
+let relation_or_empty inst ~arity name =
+  match Str_map.find_opt name inst with
+  | Some r -> r
+  | None -> Relation.empty ~arity
+
+let mem_fact inst name t =
+  match Str_map.find_opt name inst with
+  | Some r -> Relation.mem t r
+  | None -> false
+
+let relation_names inst = List.map fst (Str_map.bindings inst)
+
+let adom inst =
+  Str_map.fold
+    (fun _ r acc -> Value_set.union (Relation.values r) acc)
+    inst Value_set.empty
+
+let fact_count inst =
+  Str_map.fold (fun _ r acc -> acc + Relation.cardinal r) inst 0
+
+let union i1 i2 =
+  Str_map.union (fun _name r1 r2 -> Some (Relation.union r1 r2)) i1 i2
+
+let restrict names inst =
+  Str_map.filter (fun name _ -> List.mem name names) inst
+
+let equal i1 i2 = Str_map.equal Relation.equal i1 i2
+
+let fold f inst acc = Str_map.fold f inst acc
+
+let pp ppf inst =
+  Str_map.iter
+    (fun name r ->
+       Format.fprintf ppf "@[<v2>%s (%d tuples):@,%a@]@." name
+         (Relation.cardinal r) Relation.pp r)
+    inst

@@ -1,0 +1,43 @@
+(** Database instances: finite maps from relation names to relations.
+
+    An instance is independent of any schema object; conformance to a schema
+    (arities, integrity constraints) is checked by {!Schema}. *)
+
+type t
+
+val empty : t
+
+val add_relation : string -> Relation.t -> t -> t
+(** Replaces any previous relation under that name. *)
+
+val add_fact : string -> Value.t list -> t -> t
+(** Adds one tuple; creates the relation (with the tuple's arity) if absent.
+    @raise Invalid_argument on arity mismatch with an existing relation. *)
+
+val of_facts : (string * Value.t list list) list -> t
+
+val relation : t -> string -> Relation.t option
+
+val relation_or_empty : t -> arity:int -> string -> Relation.t
+(** The named relation, or an empty relation of the given arity. *)
+
+val mem_fact : t -> string -> Tuple.t -> bool
+
+val relation_names : t -> string list
+
+val adom : t -> Value_set.t
+(** Active domain: all constants occurring in facts. *)
+
+val fact_count : t -> int
+
+val union : t -> t -> t
+(** Per-relation union. @raise Invalid_argument on arity clash. *)
+
+val restrict : string list -> t -> t
+(** Keep only the named relations. *)
+
+val equal : t -> t -> bool
+
+val fold : (string -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val pp : Format.formatter -> t -> unit

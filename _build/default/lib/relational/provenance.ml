@@ -1,0 +1,117 @@
+type witness = {
+  binding : (string * Value.t) list;
+  facts : (string * Tuple.t) list;
+}
+
+let witnesses q inst answer =
+  (* Bind the head to the answer tuple, then enumerate satisfying
+     assignments of the body. *)
+  let head_constraints =
+    List.mapi (fun i t -> (i + 1, t)) q.Cq.head
+  in
+  (* Build the head substitution, failing on conflicts: a repeated head
+     variable must receive equal components, a constant component must
+     match the answer. *)
+  let subst, consistent =
+    List.fold_left
+      (fun (subst, ok) (i, t) ->
+         if not ok then (subst, false)
+         else
+           match t with
+           | Cq.Const c -> (subst, Value.equal c (Tuple.get answer i))
+           | Cq.Var v ->
+             let value = Tuple.get answer i in
+             (match List.assoc_opt v subst with
+              | Some (Cq.Const prev) -> (subst, Value.equal prev value)
+              | Some _ -> (subst, false)
+              | None -> ((v, Cq.Const value) :: subst, ok)))
+      ([], true) head_constraints
+  in
+  if not consistent then []
+  else
+    let bound = Cq.substitute subst q in
+    List.map
+      (fun binding ->
+         let lookup t =
+           match t with
+           | Cq.Const c -> c
+           | Cq.Var v ->
+             (match List.assoc_opt v binding with
+              | Some c -> c
+              | None -> Value.Str "?")
+         in
+         let facts =
+           List.map
+             (fun (a : Cq.atom) ->
+                (a.Cq.rel, Tuple.of_list (List.map lookup a.Cq.args)))
+             bound.Cq.atoms
+         in
+         { binding; facts })
+      (Cq.eval_assignments bound inst)
+
+type derivation =
+  | Fact of string * Tuple.t
+  | Rule of {
+      view : string;
+      disjunct : int;
+      head : Tuple.t;
+      premises : derivation list;
+    }
+
+(* Cartesian product of derivation choices for a list of premises. *)
+let rec combinations = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+    let tails = combinations rest in
+    List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+
+let rec derive views inst rel tuple =
+  match List.find_opt (fun (d : View.def) -> String.equal d.View.name rel)
+          (View.defs views)
+  with
+  | None ->
+    if Instance.mem_fact inst rel tuple then [ Fact (rel, tuple) ] else []
+  | Some def ->
+    (* Evaluate against the materialised instance so nested views resolve. *)
+    let full = View.materialise views inst in
+    List.concat
+      (List.mapi
+         (fun disjunct_index disjunct ->
+            List.concat_map
+              (fun w ->
+                 let premise_choices =
+                   List.map
+                     (fun (prem_rel, prem_tuple) ->
+                        derive views inst prem_rel prem_tuple)
+                     w.facts
+                 in
+                 if List.exists (fun cs -> cs = []) premise_choices then []
+                 else
+                   List.map
+                     (fun premises ->
+                        Rule { view = rel; disjunct = disjunct_index;
+                               head = tuple; premises })
+                     (combinations premise_choices))
+              (witnesses disjunct full tuple))
+         def.View.body.Ucq.disjuncts)
+
+let derive_one views inst rel tuple =
+  match derive views inst rel tuple with
+  | [] -> None
+  | d :: _ -> Some d
+
+let rec pp_derivation ppf = function
+  | Fact (rel, t) -> Format.fprintf ppf "%s%a" rel Tuple.pp t
+  | Rule { view; disjunct; head; premises } ->
+    Format.fprintf ppf "@[<v2>%s%a  [rule %d]%a@]" view Tuple.pp head
+      disjunct
+      (fun ppf prems ->
+         List.iter (fun p -> Format.fprintf ppf "@,<- %a" pp_derivation p) prems)
+      premises
+
+let leaves d =
+  let rec go acc = function
+    | Fact (rel, t) -> (rel, t) :: acc
+    | Rule { premises; _ } -> List.fold_left go acc premises
+  in
+  List.sort_uniq Stdlib.compare (go [] d)

@@ -1,0 +1,43 @@
+(** Why-provenance: the low-level counterpart of the paper's high-level
+    explanations.
+
+    The introduction contrasts ontology-based why-not explanations with the
+    classical lineage of {e present} tuples: a tuple is in the output
+    because specific facts jointly derive it. This module computes those
+    derivations — witnesses for a CQ answer, and derivation trees through
+    (nested) view definitions — so examples and downstream tools can show
+    both levels side by side. *)
+
+type witness = {
+  binding : (string * Value.t) list;  (** variable assignment *)
+  facts : (string * Tuple.t) list;    (** the facts the atoms map to *)
+}
+
+val witnesses : Cq.t -> Instance.t -> Tuple.t -> witness list
+(** All ways the instance derives the given answer tuple of the query
+    (empty iff the tuple is not an answer). *)
+
+type derivation =
+  | Fact of string * Tuple.t
+    (** a base fact *)
+  | Rule of {
+      view : string;
+      disjunct : int;      (** which disjunct of the view's UCQ fired *)
+      head : Tuple.t;
+      premises : derivation list;
+    }
+
+val derive :
+  View.t -> Instance.t -> string -> Tuple.t -> derivation list
+(** Derivation trees for a tuple of a view relation (or the single [Fact]
+    when the relation is a base one and contains the tuple). The instance
+    must contain the base relations; view relations are evaluated on
+    demand. Returns every derivation (exponentially many in pathological
+    cases — use {!derive_one} for a single witness). *)
+
+val derive_one : View.t -> Instance.t -> string -> Tuple.t -> derivation option
+
+val pp_derivation : Format.formatter -> derivation -> unit
+
+val leaves : derivation -> (string * Tuple.t) list
+(** The base facts supporting a derivation (with duplicates removed). *)

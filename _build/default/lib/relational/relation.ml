@@ -1,0 +1,89 @@
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  arity : int;
+  tuples : Tuple_set.t;
+}
+
+let empty ~arity = { arity; tuples = Tuple_set.empty }
+let arity r = r.arity
+let is_empty r = Tuple_set.is_empty r.tuples
+let cardinal r = Tuple_set.cardinal r.tuples
+
+let check_arity r t =
+  if Tuple.arity t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple of arity %d in relation of arity %d"
+         (Tuple.arity t) r.arity)
+
+let add t r =
+  check_arity r t;
+  { r with tuples = Tuple_set.add t r.tuples }
+
+let mem t r = Tuple_set.mem t r.tuples
+let remove t r = { r with tuples = Tuple_set.remove t r.tuples }
+
+let of_list ~arity ts = List.fold_left (fun r t -> add t r) (empty ~arity) ts
+
+let of_value_lists ~arity rows =
+  of_list ~arity (List.map Tuple.of_list rows)
+
+let to_list r = Tuple_set.elements r.tuples
+
+let binop name f r1 r2 =
+  if r1.arity <> r2.arity then
+    invalid_arg (Printf.sprintf "Relation.%s: arity mismatch" name)
+  else { arity = r1.arity; tuples = f r1.tuples r2.tuples }
+
+let union = binop "union" Tuple_set.union
+let inter = binop "inter" Tuple_set.inter
+let diff = binop "diff" Tuple_set.diff
+
+let subset r1 r2 =
+  r1.arity = r2.arity && Tuple_set.subset r1.tuples r2.tuples
+
+let equal r1 r2 = r1.arity = r2.arity && Tuple_set.equal r1.tuples r2.tuples
+
+let compare r1 r2 =
+  let c = Stdlib.compare r1.arity r2.arity in
+  if c <> 0 then c else Tuple_set.compare r1.tuples r2.tuples
+
+let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+let fold f r acc = Tuple_set.fold f r.tuples acc
+let iter f r = Tuple_set.iter f r.tuples
+let exists p r = Tuple_set.exists p r.tuples
+let for_all p r = Tuple_set.for_all p r.tuples
+
+let project attrs r =
+  let k = List.length attrs in
+  fold (fun t acc -> add (Tuple.proj attrs t) acc) r (empty ~arity:k)
+
+let column a r =
+  fold (fun t acc -> Value_set.add (Tuple.get t a) acc) r Value_set.empty
+
+let select conds r =
+  filter
+    (fun t ->
+       List.for_all (fun (a, op, c) -> Cmp_op.eval op (Tuple.get t a) c) conds)
+    r
+
+let values r =
+  fold
+    (fun t acc ->
+       List.fold_left (fun acc v -> Value_set.add v acc) acc (Tuple.to_list t))
+    r Value_set.empty
+
+let product r1 r2 =
+  let arity = r1.arity + r2.arity in
+  fold
+    (fun t1 acc ->
+       fold
+         (fun t2 acc ->
+            add (Tuple.of_list (Tuple.to_list t1 @ Tuple.to_list t2)) acc)
+         r2 acc)
+    r1 (empty ~arity)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Tuple.pp)
+    (to_list r)

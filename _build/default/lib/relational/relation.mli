@@ -1,0 +1,52 @@
+(** A relation: a finite set of tuples, all of the same arity.
+
+    The empty relation carries its arity so that projections and products of
+    empty relations remain well-typed. *)
+
+type t
+
+val empty : arity:int -> t
+val arity : t -> int
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val add : Tuple.t -> t -> t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val mem : Tuple.t -> t -> bool
+val remove : Tuple.t -> t -> t
+
+val of_list : arity:int -> Tuple.t list -> t
+val of_value_lists : arity:int -> Value.t list list -> t
+val to_list : t -> Tuple.t list
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val filter : (Tuple.t -> bool) -> t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val project : int list -> t -> t
+(** [project [a1; ...; ak] r]: the paper's [pi_{A1,...,Ak}(r)] (1-based,
+    duplicates removed — set semantics). *)
+
+val column : int -> t -> Value_set.t
+(** [column a r]: the set of values in attribute [a]. *)
+
+val select : (int * Cmp_op.t * Value.t) list -> t -> t
+(** [select conds r]: tuples satisfying every [attr op const] condition. *)
+
+val values : t -> Value_set.t
+(** All constants occurring in the relation. *)
+
+val product : t -> t -> t
+(** Cartesian product (arities add up). *)
+
+val pp : Format.formatter -> t -> unit

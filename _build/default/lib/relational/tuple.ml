@@ -1,0 +1,38 @@
+type t = Value.t array
+
+let of_list vs = Array.of_list vs
+let of_array a = Array.copy a
+let to_list t = Array.to_list t
+let arity t = Array.length t
+
+let get t a =
+  if a < 1 || a > Array.length t then
+    invalid_arg
+      (Printf.sprintf "Tuple.get: attribute %d out of range 1..%d" a
+         (Array.length t))
+  else t.(a - 1)
+
+let proj attrs t = Array.of_list (List.map (fun a -> get t a) attrs)
+
+let compare t1 t2 =
+  let n1 = Array.length t1 and n2 = Array.length t2 in
+  if n1 <> n2 then Stdlib.compare n1 n2
+  else
+    let rec loop i =
+      if i >= n1 then 0
+      else
+        let c = Value.compare t1.(i) t2.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

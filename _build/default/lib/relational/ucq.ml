@@ -1,0 +1,43 @@
+type t = {
+  arity : int;
+  disjuncts : Cq.t list;
+}
+
+let make = function
+  | [] -> invalid_arg "Ucq.make: empty union"
+  | q :: _ as qs ->
+    let arity = Cq.arity q in
+    if List.exists (fun q' -> Cq.arity q' <> arity) qs then
+      invalid_arg "Ucq.make: disjuncts of different arities"
+    else { arity; disjuncts = qs }
+
+let of_cq q = { arity = Cq.arity q; disjuncts = [ q ] }
+
+let arity u = u.arity
+
+let eval u inst =
+  List.fold_left
+    (fun acc q -> Relation.union acc (Cq.eval q inst))
+    (Relation.empty ~arity:u.arity)
+    u.disjuncts
+
+let holds u inst = List.exists (fun q -> Cq.holds q inst) u.disjuncts
+
+let constants u =
+  List.fold_left
+    (fun acc q -> Value_set.union acc (Cq.constants q))
+    Value_set.empty u.disjuncts
+
+let rename_apart ~suffix u =
+  { u with disjuncts = List.map (Cq.rename_apart ~suffix) u.disjuncts }
+
+let atoms_relations u =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun q -> List.map (fun (a : Cq.atom) -> a.rel) q.Cq.atoms)
+       u.disjuncts)
+
+let pp ppf u =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ | ")
+    Cq.pp ppf u.disjuncts

@@ -1,0 +1,26 @@
+(** Unions of conjunctive queries (with comparisons to constants). *)
+
+type t = {
+  arity : int;
+  disjuncts : Cq.t list;
+}
+
+val make : Cq.t list -> t
+(** @raise Invalid_argument on empty list or mixed arities. *)
+
+val of_cq : Cq.t -> t
+
+val arity : t -> int
+
+val eval : t -> Instance.t -> Relation.t
+
+val holds : t -> Instance.t -> bool
+
+val constants : t -> Value_set.t
+
+val rename_apart : suffix:string -> t -> t
+
+val atoms_relations : t -> string list
+(** Names of relations mentioned in any disjunct (deduplicated). *)
+
+val pp : Format.formatter -> t -> unit

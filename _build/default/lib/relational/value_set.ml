@@ -1,0 +1,12 @@
+include Set.Make (Value)
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (elements s)
+
+let of_strings ss = of_list (List.map Value.str ss)
+
+let to_sorted_list = elements

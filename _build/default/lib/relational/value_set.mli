@@ -1,0 +1,10 @@
+(** Finite sets of constants — concept extensions, active domains, columns. *)
+
+include Set.S with type elt = Value.t
+
+val pp : Format.formatter -> t -> unit
+
+val of_strings : string list -> t
+(** Convenience: builds a set of [Str] values. *)
+
+val to_sorted_list : t -> Value.t list

@@ -1,0 +1,55 @@
+(** UCQ view definitions and nested UCQ view definitions (§2).
+
+    A collection of view definitions partitions the schema into data
+    relations [D] and view relations [V]; each [P] in [V] has exactly one
+    definition [P(x) <-> phi_1(x) \/ ... \/ phi_k(x)]. In the nested case
+    the disjuncts may mention other views, subject to acyclicity of the
+    "depends on" relation — i.e. a non-recursive Datalog program. *)
+
+type def = {
+  name : string;
+  body : Ucq.t;
+}
+
+type t
+(** A validated collection of view definitions. *)
+
+val make : def list -> (t, string) result
+(** Validates: at most one definition per name, no view atom outside the
+    definitions' dependency universe, and acyclicity. *)
+
+val make_exn : def list -> t
+
+val defs : t -> def list
+
+val view_names : t -> string list
+
+val is_view : t -> string -> bool
+
+val depends_on : t -> string -> string list
+(** Direct dependencies of a view (views occurring in its definition). *)
+
+val topological_order : t -> string list
+(** View names ordered so that every view follows its dependencies. *)
+
+val is_flat : t -> bool
+(** No view mentions another view (plain UCQ-view definitions). *)
+
+val is_linear : t -> bool
+(** Every disjunct of every definition contains at most one view atom
+    (linearly nested UCQ-view definitions). *)
+
+val has_comparisons : t -> bool
+
+val materialise : t -> Instance.t -> Instance.t
+(** Extend a base instance with the computed extension of every view, in
+    dependency order (non-recursive Datalog evaluation). *)
+
+val unfold_cq : t -> Cq.t -> Cq.t list
+(** Expand all view atoms of a CQ into base-schema disjuncts (exponential in
+    general). Unsatisfiable expansions are dropped. The resulting CQs mention
+    only non-view relations. *)
+
+val unfold_ucq : t -> Ucq.t -> Ucq.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/setcover/reduction.ml: Cq Instance List Printf Setcover Value Value_set Whynot_core Whynot_relational

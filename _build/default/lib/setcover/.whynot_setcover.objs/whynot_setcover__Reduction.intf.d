@@ -1,0 +1,1 @@
+lib/setcover/reduction.mli: Setcover Value Whynot_core Whynot_relational

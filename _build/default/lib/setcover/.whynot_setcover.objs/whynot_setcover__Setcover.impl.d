@@ -1,0 +1,1 @@
+lib/setcover/setcover.ml: Format Int List Printf Random Set Stdlib String

@@ -1,0 +1,43 @@
+(** The executable reduction behind the paper's lower bounds.
+
+    Theorem 5.1(2): EXISTENCE-OF-EXPLANATION is NP-complete, by reduction
+    from SET COVER with a query of unbounded arity over a schema of bounded
+    arity. Given a SET COVER instance and a slot budget [m], we build:
+
+    - an instance over a binary relation [E] containing a self-loop
+      [E(x_u, x_u)] per universe element [u];
+    - the [m]-ary chain query
+      [q(x1, ..., xm) = E(x1, x2) ∧ ... ∧ E(x_{m-1}, x_m)], whose answers
+      are exactly the diagonal tuples [(x_u, ..., x_u)];
+    - the missing tuple [(a, ..., a)] for a fresh constant [a];
+    - the hand ontology with one concept [C_S] per set [S], pairwise
+      incomparable, with [ext(C_S) = {a} ∪ { x_u : u ∉ S }].
+
+    A choice of concepts [(C_{S_1}, ..., C_{S_m})] kills the diagonal
+    answer of [u] iff some chosen set contains [u]; hence an explanation
+    exists iff the chosen sets cover the universe — iff the SET COVER
+    instance has a cover of size at most [m].
+
+    Proposition 6.4: in the same gadget, the degree of generality of an
+    explanation is [m(n+1) − Σ_i |S_i|], so a >card-maximal explanation
+    minimises the total size of the chosen (multi)cover — the L-reduction
+    from the minimum-total-weight cover variant. *)
+
+open Whynot_relational
+
+type gadget = {
+  ontology : string Whynot_core.Ontology.t;
+  whynot : Whynot_core.Whynot.t;
+  element_constant : int -> Value.t;
+  missing_constant : Value.t;
+}
+
+val build : Setcover.t -> slots:int -> gadget
+(** @raise Invalid_argument if [slots < 1] or the universe is empty. *)
+
+val explanation_to_sets : string Whynot_core.Explanation.t -> string list
+(** The multiset of sets named by an explanation of the gadget. *)
+
+val sets_to_explanation : slots:int -> string list -> string Whynot_core.Explanation.t
+(** Pad a cover (of size ≤ slots) to an [m]-tuple by repeating the first
+    set. @raise Invalid_argument on the empty list or oversize covers. *)

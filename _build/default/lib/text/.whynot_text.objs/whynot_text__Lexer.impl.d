@@ -1,0 +1,1 @@
+lib/text/lexer.ml: Buffer Format List Printf String Whynot_relational

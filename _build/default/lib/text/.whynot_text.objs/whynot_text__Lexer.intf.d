@@ -1,0 +1,1 @@
+lib/text/lexer.mli: Format Whynot_relational

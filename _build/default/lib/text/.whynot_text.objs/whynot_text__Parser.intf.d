@@ -1,0 +1,1 @@
+lib/text/parser.mli: Cq Fd Ind Instance Schema Value Value_set View Whynot_concept Whynot_core Whynot_datalog Whynot_dllite Whynot_obda Whynot_relational

@@ -1,0 +1,31 @@
+(** Hand-written lexer for the why-not text format (see {!Parser} for the
+    grammar). Comments run from [#] to end of line. *)
+
+type token =
+  | Ident of string     (** bare identifiers, may contain [- _ .] *)
+  | String of string    (** double-quoted *)
+  | Number of Whynot_relational.Value.t  (** [Int] or [Real] *)
+  | Lparen | Rparen
+  | Lbracket | Rbracket
+  | Lbrace | Rbrace
+  | Comma | Colon | Semicolon
+  | Eq | Lt | Gt | Le | Ge
+  | Arrow        (** [->] *)
+  | Define       (** [:=] *)
+  | Subsumed     (** [[=] or [<=] — context disambiguates [Le]: the lexer
+                     emits [Le] and the parser treats it as subsumption
+                     where appropriate *)
+  | Bar          (** [|] *)
+  | Amp          (** [&] — concept intersection *)
+  | Bang         (** [!] — Datalog negation *)
+  | Eof
+
+type located = {
+  token : token;
+  line : int;
+}
+
+val tokenize : string -> (located list, string) result
+(** Errors carry a line number and a short description. *)
+
+val pp_token : Format.formatter -> token -> unit

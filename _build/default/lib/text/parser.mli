@@ -1,0 +1,93 @@
+(** Parser for the why-not text format. A document is a sequence of items:
+
+    {v
+    # relations, constraints, views
+    relation Cities(name, population, country, continent)
+    relation Train-Connections(city_from, city_to)
+    fd Cities: country -> continent
+    ind BigCity[name] <= Train-Connections[city_from]
+    view BigCity(x) := Cities(x, y, z, w), y >= 5000000
+    view Reachable(x, y) := Train-Connections(x, y)
+                          | Train-Connections(x, z), Train-Connections(z, y)
+
+    # facts (bare identifiers are string constants here)
+    fact Cities("Amsterdam", 779808, "Netherlands", "Europe")
+
+    # the query and the why-not tuple
+    query q(x, y) := Train-Connections(x, z), Train-Connections(z, y)
+    whynot ("Amsterdam", "New York")
+
+    # optional hand ontology (Figure 3 style)
+    concept Dutch-City [= European-City
+    ext Dutch-City = {"Amsterdam"}
+
+    # optional DL-LiteR TBox and GAV mappings (Figure 4 style)
+    axiom EU-City [= City
+    axiom EU-City [= not NA-City
+    axiom exists hasCountry- [= Country
+    mapping Cities(x, z, w, "Europe") -> EU-City(x)
+    v}
+
+    In rule bodies (views, queries, mappings), bare identifiers are
+    variables and quoted strings / numbers are constants; [fd] attributes
+    may be named (resolved against the relation declaration) or positional
+    numbers. *)
+
+open Whynot_relational
+
+type document = {
+  relations : Schema.rel_decl list;
+  fds : Fd.t list;
+  inds : Ind.t list;
+  views : View.def list;
+  facts : (string * Value.t list) list;
+  query : (string * Cq.t) option;
+  whynot_tuple : Value.t list option;
+  concepts : (string * string) list;    (** hand-ontology subsumption edges *)
+  extensions : (string * Value_set.t) list;
+  tbox_axioms : Whynot_dllite.Tbox.axiom list;
+  mappings : Whynot_obda.Mapping.t list;
+  rules : Whynot_datalog.Program.rule list;
+    (** possibly recursive Datalog rules ([rule P(x) := ..., !Q(x)]) *)
+}
+
+val parse : string -> (document, string) result
+
+val parse_file : string -> (document, string) result
+
+val schema_of : document -> (Schema.t, string) result
+
+val instance_of : document -> Instance.t
+(** The facts, with the document's views materialised when the schema is
+    well-formed. *)
+
+val whynot_of : document -> (Whynot_core.Whynot.t, string) result
+(** Requires a query and a whynot tuple. *)
+
+val hand_ontology_of : document -> string Whynot_core.Ontology.t option
+(** [Some] iff the document declares at least one concept extension. *)
+
+val obda_spec_of : document -> (Whynot_obda.Spec.t option, string) result
+(** [Some] iff the document declares TBox axioms or mappings. *)
+
+val program_of :
+  document -> (Whynot_datalog.Program.t option, string) result
+(** The document's [rule] items as a validated (safe, stratified) Datalog
+    program; [None] when there are no rules. *)
+
+val values_of_string : string -> (Value.t list, string) result
+(** Parse a comma-separated constant list, e.g. ["Amsterdam", 7]. *)
+
+val concept_of_string :
+  document -> string -> (Whynot_concept.Ls.t, string) result
+(** Parse an [L_S] concept expression:
+
+    {v
+      concept := conjunct ('&' conjunct)*
+      conjunct := 'top' | '{' constant '}' | REL '.' ATTR selections?
+      selections := '[' ATTR op constant (',' ATTR op constant)* ']'
+    v}
+
+    e.g. [Cities.name[continent = "Europe", population >= 5000000] & {"Rome"}].
+    Attribute names are resolved against the document's relation
+    declarations; positional numbers are accepted too. *)

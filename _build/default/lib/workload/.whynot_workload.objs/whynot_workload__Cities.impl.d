@@ -1,0 +1,1 @@
+lib/workload/cities.ml: Cmp_op Cq Dl Fd Ind Instance Mapping Schema Tbox Ucq Value View Whynot_dllite Whynot_obda Whynot_relational

@@ -1,0 +1,1 @@
+lib/workload/cities.mli: Cq Instance Relation Schema Value Whynot_dllite Whynot_obda Whynot_relational

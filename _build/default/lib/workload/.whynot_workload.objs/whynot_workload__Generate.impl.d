@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Cities Cmp_op Cq Dl Fd Ind Instance List Option Printf Random Relation Schema Tbox Ucq Value Value_set View Whynot_concept Whynot_core Whynot_dllite Whynot_relational

@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Instance Schema Whynot_concept Whynot_core Whynot_dllite Whynot_relational

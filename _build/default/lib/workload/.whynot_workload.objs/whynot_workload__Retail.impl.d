@@ -1,0 +1,1 @@
+lib/workload/retail.ml: Cmp_op Cq Ind Instance Schema Ucq Value View Whynot_relational

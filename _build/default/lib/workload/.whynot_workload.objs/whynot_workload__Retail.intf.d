@@ -1,0 +1,1 @@
+lib/workload/retail.mli: Cq Instance Schema Value Whynot_relational

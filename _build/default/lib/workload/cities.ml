@@ -1,0 +1,221 @@
+open Whynot_relational
+
+let s = Value.str
+let i = Value.int
+
+let amsterdam = s "Amsterdam"
+let berlin = s "Berlin"
+let rome = s "Rome"
+let new_york = s "New York"
+let san_francisco = s "San Francisco"
+let santa_cruz = s "Santa Cruz"
+let tokyo = s "Tokyo"
+let kyoto = s "Kyoto"
+
+let var v = Cq.Var v
+let const c = Cq.Const c
+let atom rel args = { Cq.rel; args }
+
+(* --- Figure 1: view definitions --- *)
+
+let big_city_def =
+  {
+    View.name = "BigCity";
+    body =
+      Ucq.of_cq
+        (Cq.make ~head:[ var "x" ]
+           ~atoms:[ atom "Cities" [ var "x"; var "y"; var "z"; var "w" ] ]
+           ~comparisons:
+             [ { Cq.subject = "y"; op = Cmp_op.Ge; value = i 5000000 } ]
+           ());
+  }
+
+let european_country_def =
+  {
+    View.name = "EuropeanCountry";
+    body =
+      Ucq.of_cq
+        (Cq.make ~head:[ var "z" ]
+           ~atoms:[ atom "Cities" [ var "x"; var "y"; var "z"; const (s "Europe") ] ]
+           ());
+  }
+
+let reachable_def =
+  {
+    View.name = "Reachable";
+    body =
+      Ucq.make
+        [
+          Cq.make
+            ~head:[ var "x"; var "y" ]
+            ~atoms:[ atom "Train-Connections" [ var "x"; var "y" ] ]
+            ();
+          Cq.make
+            ~head:[ var "x"; var "y" ]
+            ~atoms:
+              [
+                atom "Train-Connections" [ var "x"; var "z" ];
+                atom "Train-Connections" [ var "z"; var "y" ];
+              ]
+            ();
+        ];
+  }
+
+let schema =
+  Schema.make_exn
+    ~fds:[ Fd.make ~rel:"Cities" ~lhs:[ 3 ] ~rhs:[ 4 ] ]
+    ~inds:
+      [
+        Ind.make ~lhs_rel:"BigCity" ~lhs_attrs:[ 1 ] ~rhs_rel:"Train-Connections"
+          ~rhs_attrs:[ 1 ];
+        Ind.make ~lhs_rel:"Train-Connections" ~lhs_attrs:[ 1 ] ~rhs_rel:"Cities"
+          ~rhs_attrs:[ 1 ];
+        Ind.make ~lhs_rel:"Train-Connections" ~lhs_attrs:[ 2 ] ~rhs_rel:"Cities"
+          ~rhs_attrs:[ 1 ];
+      ]
+    ~views:[ big_city_def; european_country_def; reachable_def ]
+    [
+      { Schema.name = "Cities"; attrs = [ "name"; "population"; "country"; "continent" ] };
+      { Schema.name = "Train-Connections"; attrs = [ "city_from"; "city_to" ] };
+      { Schema.name = "BigCity"; attrs = [ "name" ] };
+      { Schema.name = "EuropeanCountry"; attrs = [ "name" ] };
+      { Schema.name = "Reachable"; attrs = [ "city_from"; "city_to" ] };
+    ]
+
+(* --- Figure 2: the instance --- *)
+
+let base_instance =
+  Instance.of_facts
+    [
+      ( "Cities",
+        [
+          [ amsterdam; i 779808; s "Netherlands"; s "Europe" ];
+          [ berlin; i 3502000; s "Germany"; s "Europe" ];
+          [ rome; i 2753000; s "Italy"; s "Europe" ];
+          [ new_york; i 8337000; s "USA"; s "N.America" ];
+          [ san_francisco; i 837442; s "USA"; s "N.America" ];
+          [ santa_cruz; i 59946; s "USA"; s "N.America" ];
+          [ tokyo; i 13185000; s "Japan"; s "Asia" ];
+          [ kyoto; i 1400000; s "Japan"; s "Asia" ];
+        ] );
+      ( "Train-Connections",
+        [
+          [ amsterdam; berlin ];
+          [ berlin; rome ];
+          [ berlin; amsterdam ];
+          [ new_york; san_francisco ];
+          [ san_francisco; santa_cruz ];
+          [ tokyo; kyoto ];
+        ] );
+    ]
+
+let instance = Schema.complete schema base_instance
+
+(* --- Example 3.4: the query and the why-not tuple --- *)
+
+let two_hop_query =
+  Cq.make
+    ~head:[ var "x"; var "y" ]
+    ~atoms:
+      [
+        atom "Train-Connections" [ var "x"; var "z" ];
+        atom "Train-Connections" [ var "z"; var "y" ];
+      ]
+    ()
+
+let answers = Cq.eval two_hop_query instance
+
+let missing_tuple = [ amsterdam; new_york ]
+
+(* --- Figure 3: the hand ontology --- *)
+
+let hand_concepts =
+  [
+    "City";
+    "European-City";
+    "US-City";
+    "Dutch-City";
+    "East-Coast-City";
+    "West-Coast-City";
+  ]
+
+let hand_hasse =
+  [
+    ("European-City", "City");
+    ("US-City", "City");
+    ("Dutch-City", "European-City");
+    ("East-Coast-City", "US-City");
+    ("West-Coast-City", "US-City");
+  ]
+
+let hand_extensions =
+  [
+    ( "City",
+      [ "Amsterdam"; "Berlin"; "Rome"; "New York"; "San Francisco";
+        "Santa Cruz"; "Tokyo"; "Kyoto" ] );
+    ("European-City", [ "Amsterdam"; "Berlin"; "Rome" ]);
+    ("Dutch-City", [ "Amsterdam" ]);
+    ("US-City", [ "New York"; "San Francisco"; "Santa Cruz" ]);
+    ("East-Coast-City", [ "New York" ]);
+    ("West-Coast-City", [ "Santa Cruz"; "San Francisco" ]);
+  ]
+
+(* --- Figure 4: the OBDA specification --- *)
+
+open Whynot_dllite
+
+let a name = Dl.Atom name
+let ex p = Dl.Exists (Dl.Named p)
+let ex_inv p = Dl.Exists (Dl.Inv p)
+
+let obda_tbox =
+  Tbox.make
+    [
+      Tbox.Concept_incl (a "EU-City", Dl.B (a "City"));
+      Tbox.Concept_incl (a "Dutch-City", Dl.B (a "EU-City"));
+      Tbox.Concept_incl (a "N.A.-City", Dl.B (a "City"));
+      Tbox.Concept_incl (a "EU-City", Dl.Not (a "N.A.-City"));
+      Tbox.Concept_incl (a "US-City", Dl.B (a "N.A.-City"));
+      Tbox.Concept_incl (a "City", Dl.B (ex "hasCountry"));
+      Tbox.Concept_incl (a "Country", Dl.B (ex "hasContinent"));
+      Tbox.Concept_incl (ex_inv "hasCountry", Dl.B (a "Country"));
+      Tbox.Concept_incl (ex_inv "hasContinent", Dl.B (a "Continent"));
+      Tbox.Concept_incl (ex "connected", Dl.B (a "City"));
+      Tbox.Concept_incl (ex_inv "connected", Dl.B (a "City"));
+    ]
+
+let obda_mappings =
+  let open Whynot_obda in
+  [
+    Mapping.make
+      ~head:(Mapping.Concept_of ("EU-City", "x"))
+      [ atom "Cities" [ var "x"; var "z"; var "w"; const (s "Europe") ] ];
+    Mapping.make
+      ~head:(Mapping.Concept_of ("Dutch-City", "x"))
+      [ atom "Cities" [ var "x"; var "z"; const (s "Netherlands"); var "w" ] ];
+    Mapping.make
+      ~head:(Mapping.Concept_of ("N.A.-City", "x"))
+      [ atom "Cities" [ var "x"; var "z"; var "w"; const (s "N.America") ] ];
+    Mapping.make
+      ~head:(Mapping.Concept_of ("US-City", "x"))
+      [ atom "Cities" [ var "x"; var "z"; const (s "USA"); var "w" ] ];
+    Mapping.make
+      ~head:(Mapping.Concept_of ("Continent", "w"))
+      [ atom "Cities" [ var "x"; var "y"; var "z"; var "w" ] ];
+    Mapping.make
+      ~head:(Mapping.Role_of ("hasCountry", "x", "y"))
+      [ atom "Cities" [ var "x"; var "k"; var "y"; var "w" ] ];
+    Mapping.make
+      ~head:(Mapping.Role_of ("hasContinent", "x", "y"))
+      [ atom "Cities" [ var "x"; var "k"; var "w"; var "y" ] ];
+    Mapping.make
+      ~head:(Mapping.Role_of ("connected", "x", "y"))
+      [
+        atom "Train-Connections" [ var "x"; var "y" ];
+        atom "Cities" [ var "x"; var "x1"; var "x2"; var "x3" ];
+        atom "Cities" [ var "y"; var "y1"; var "y2"; var "y3" ];
+      ];
+  ]
+
+let obda_spec =
+  Whynot_obda.Spec.make_exn ~tbox:obda_tbox ~schema ~mappings:obda_mappings

@@ -1,0 +1,132 @@
+open Whynot_relational
+
+let s = Value.str
+let i = Value.int
+
+let var v = Cq.Var v
+let atom rel args = { Cq.rel; args }
+
+let in_stock_def =
+  {
+    View.name = "InStock";
+    body =
+      Ucq.of_cq
+        (Cq.make
+           ~head:[ var "p"; var "st" ]
+           ~atoms:[ atom "Stock" [ var "p"; var "st"; var "q" ] ]
+           ~comparisons:[ { Cq.subject = "q"; op = Cmp_op.Gt; value = i 0 } ]
+           ());
+  }
+
+let electronics_def =
+  {
+    View.name = "Electronics";
+    body =
+      Ucq.make
+        [
+          Cq.make ~head:[ var "p" ]
+            ~atoms:
+              [ atom "Products" [ var "p"; var "n"; Cq.Const (s "audio"); var "pr" ] ]
+            ();
+          Cq.make ~head:[ var "p" ]
+            ~atoms:
+              [ atom "Products" [ var "p"; var "n"; Cq.Const (s "computing"); var "pr" ] ]
+            ();
+        ];
+  }
+
+let schema =
+  Schema.make_exn
+    ~inds:
+      [
+        Ind.make ~lhs_rel:"Stock" ~lhs_attrs:[ 1 ] ~rhs_rel:"Products"
+          ~rhs_attrs:[ 1 ];
+        Ind.make ~lhs_rel:"Stock" ~lhs_attrs:[ 2 ] ~rhs_rel:"Stores"
+          ~rhs_attrs:[ 1 ];
+      ]
+    ~views:[ in_stock_def; electronics_def ]
+    [
+      { Schema.name = "Products"; attrs = [ "pid"; "name"; "category"; "price" ] };
+      { Schema.name = "Stores"; attrs = [ "sid"; "city"; "state" ] };
+      { Schema.name = "Stock"; attrs = [ "pid"; "sid"; "qty" ] };
+      { Schema.name = "InStock"; attrs = [ "pid"; "sid" ] };
+      { Schema.name = "Electronics"; attrs = [ "pid" ] };
+    ]
+
+let base_instance =
+  Instance.of_facts
+    [
+      ( "Products",
+        [
+          [ s "P0034"; s "BT Headset X"; s "audio"; i 79 ];
+          [ s "P0035"; s "BT Headset Y"; s "audio"; i 129 ];
+          [ s "P0100"; s "Laptop 13"; s "computing"; i 999 ];
+          [ s "P0101"; s "Laptop 15"; s "computing"; i 1299 ];
+          [ s "P0200"; s "Espresso Maker"; s "kitchen"; i 249 ];
+          [ s "P0201"; s "Toaster"; s "kitchen"; i 39 ];
+          [ s "P0300"; s "Desk Lamp"; s "furniture"; i 59 ];
+          [ s "P0301"; s "Office Chair"; s "furniture"; i 189 ];
+        ] );
+      ( "Stores",
+        [
+          [ s "S010"; s "San Francisco"; s "CA" ];
+          [ s "S012"; s "San Francisco"; s "CA" ];
+          [ s "S020"; s "Los Angeles"; s "CA" ];
+          [ s "S030"; s "Seattle"; s "WA" ];
+          [ s "S040"; s "New York"; s "NY" ];
+          [ s "S041"; s "New York"; s "NY" ];
+        ] );
+      ( "Stock",
+        [
+          (* Headsets are stocked only on the east coast. *)
+          [ s "P0034"; s "S040"; i 12 ];
+          [ s "P0035"; s "S041"; i 3 ];
+          (* SF stores carry laptops and kitchenware. *)
+          [ s "P0100"; s "S010"; i 5 ];
+          [ s "P0101"; s "S012"; i 2 ];
+          [ s "P0200"; s "S012"; i 7 ];
+          [ s "P0201"; s "S010"; i 9 ];
+          (* LA and Seattle carry a bit of everything except audio. *)
+          [ s "P0100"; s "S020"; i 4 ];
+          [ s "P0300"; s "S020"; i 6 ];
+          [ s "P0301"; s "S030"; i 1 ];
+          [ s "P0200"; s "S030"; i 2 ];
+          (* A zero-quantity row: present in Stock but not InStock. *)
+          [ s "P0034"; s "S020"; i 0 ];
+        ] );
+    ]
+
+let instance = Schema.complete schema base_instance
+
+let in_stock_query =
+  Cq.make
+    ~head:[ var "p"; var "st" ]
+    ~atoms:[ atom "Stock" [ var "p"; var "st"; var "q" ] ]
+    ~comparisons:[ { Cq.subject = "q"; op = Cmp_op.Gt; value = i 0 } ]
+    ()
+
+let missing_tuple = [ s "P0034"; s "S012" ]
+
+let whynot_headsets () = (instance, in_stock_query, missing_tuple)
+
+let hand_ontology_extensions =
+  [
+    ("Product", [ "P0034"; "P0035"; "P0100"; "P0101"; "P0200"; "P0201"; "P0300"; "P0301" ]);
+    ("Electronics", [ "P0034"; "P0035"; "P0100"; "P0101" ]);
+    ("Audio", [ "P0034"; "P0035" ]);
+    ("BluetoothHeadset", [ "P0034"; "P0035" ]);
+    ("Store", [ "S010"; "S012"; "S020"; "S030"; "S040"; "S041" ]);
+    ("USStore", [ "S010"; "S012"; "S020"; "S030"; "S040"; "S041" ]);
+    ("CaliforniaStore", [ "S010"; "S012"; "S020" ]);
+    ("SanFranciscoStore", [ "S010"; "S012" ]);
+  ]
+
+let hand_ontology_subsumptions =
+  [
+    ("BluetoothHeadset", "Audio");
+    ("Audio", "Electronics");
+    ("Electronics", "Product");
+    ("SanFranciscoStore", "CaliforniaStore");
+    ("CaliforniaStore", "USStore");
+    ("USStore", "Store");
+  ]

@@ -1,0 +1,33 @@
+(** The introduction's motivating scenario: a retail company database with
+    products, stores and stock, and the why-not question "why is
+    (P0034, S012) — a bluetooth headset and a San Francisco store — not
+    among the (product, store) pairs in stock?". The intended high-level
+    explanation: none of the stores in San Francisco has any bluetooth
+    headsets in stock. *)
+
+open Whynot_relational
+
+val schema : Schema.t
+(** Data relations [Products(pid, name, category, price)],
+    [Stores(sid, city, state)], [Stock(pid, sid, qty)]; views
+    [InStock(pid, sid)] (pairs with positive quantity) and
+    [Electronics(pid)]; inclusion dependencies from [Stock] into
+    [Products]/[Stores]. *)
+
+val instance : Instance.t
+(** 8 products, 6 stores, a stock table; views materialised. *)
+
+val in_stock_query : Cq.t
+(** [q(pid, sid) = InStock(pid, sid)] unfolded to the data relations:
+    [∃qty. Stock(pid, sid, qty) ∧ qty > 0]. *)
+
+val missing_tuple : Value.t list
+(** [(P0034, S012)]. *)
+
+val whynot_headsets : unit -> (Instance.t * Cq.t * Value.t list)
+(** The full why-not question as a triple, for the examples. *)
+
+val hand_ontology_extensions : (string * string list) list
+val hand_ontology_subsumptions : (string * string) list
+(** A small product/store ontology: bluetooth headsets ⊑ audio ⊑
+    electronics; SF stores ⊑ California stores ⊑ US stores. *)

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Cmp_op Cq Instance List Option Program QCheck2 QCheck_alcotest Relation Schema Stdlib Tuple Value View Whynot_datalog Whynot_relational Whynot_workload

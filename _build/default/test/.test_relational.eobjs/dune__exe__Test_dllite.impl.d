@@ -1,0 +1,1 @@
+test/test_dllite.ml: Abox Alcotest Canonical Dl Interp List Ondemand Printf QCheck2 QCheck_alcotest Reasoner Tbox Whynot_dllite Whynot_obda Whynot_relational

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Cmp_op Containment Cq Fd Ind Instance Interval List Option Provenance QCheck2 QCheck_alcotest Relation Schema String Tuple Ucq Value Value_set View Whynot_relational

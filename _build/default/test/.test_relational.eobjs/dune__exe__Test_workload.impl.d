@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Cq Instance List Option Printf Relation Schema Tuple Value View Whynot_concept Whynot_core Whynot_dllite Whynot_relational Whynot_workload

@@ -1,0 +1,221 @@
+(* Tests for the Datalog engine: safety, stratification, semi-naive
+   recursion, stratified negation, and the equivalence with nested
+   UCQ-views on non-recursive programs (§2's correspondence). *)
+
+open Whynot_relational
+open Whynot_datalog
+
+let v_int = Value.int
+let v_str = Value.str
+let var v = Cq.Var v
+let atom rel args = { Cq.rel; args }
+let pos rel args = Program.Pos (atom rel args)
+let neg rel args = Program.Neg (atom rel args)
+
+let edge_facts pairs =
+  List.fold_left
+    (fun inst (a, b) -> Instance.add_fact "E" [ v_int a; v_int b ] inst)
+    Instance.empty pairs
+
+(* Transitive closure: T(x,y) :- E(x,y).  T(x,y) :- T(x,z), E(z,y). *)
+let tc_program =
+  Program.make_exn
+    [
+      Program.rule ~head:(atom "T" [ var "x"; var "y" ]) [ pos "E" [ var "x"; var "y" ] ];
+      Program.rule
+        ~head:(atom "T" [ var "x"; var "y" ])
+        [ pos "T" [ var "x"; var "z" ]; pos "E" [ var "z"; var "y" ] ];
+    ]
+
+let test_transitive_closure () =
+  Alcotest.(check bool) "recursive" true (Program.is_recursive tc_program);
+  let inst = edge_facts [ (1, 2); (2, 3); (3, 4) ] in
+  let out = Program.eval tc_program inst in
+  let t = Option.get (Instance.relation out "T") in
+  (* Closure of a 4-chain: 3 + 2 + 1 = 6 pairs. *)
+  Alcotest.(check int) "6 pairs" 6 (Relation.cardinal t);
+  Alcotest.(check bool) "(1,4) derived" true
+    (Relation.mem (Tuple.of_list [ v_int 1; v_int 4 ]) t);
+  Alcotest.(check bool) "(4,1) not derived" false
+    (Relation.mem (Tuple.of_list [ v_int 4; v_int 1 ]) t);
+  (* A cycle terminates and closes fully. *)
+  let cyc = Program.eval tc_program (edge_facts [ (1, 2); (2, 3); (3, 1) ]) in
+  Alcotest.(check int) "3-cycle closure" 9
+    (Relation.cardinal (Option.get (Instance.relation cyc "T")))
+
+let test_stratified_negation () =
+  (* Unreachable pairs: U(x,y) :- N(x), N(y), !T(x,y). *)
+  let prog =
+    Program.make_exn
+      (Program.rules tc_program
+       @ [
+           Program.rule ~head:(atom "N" [ var "x" ]) [ pos "E" [ var "x"; var "y" ] ];
+           Program.rule ~head:(atom "N" [ var "y" ]) [ pos "E" [ var "x"; var "y" ] ];
+           Program.rule
+             ~head:(atom "U" [ var "x"; var "y" ])
+             [ pos "N" [ var "x" ]; pos "N" [ var "y" ]; neg "T" [ var "x"; var "y" ] ];
+         ])
+  in
+  (* U must sit in a later stratum than T. *)
+  let strata = Program.strata prog in
+  let stratum_of p =
+    Option.get (List.find_index (fun s -> List.mem p s) strata)
+  in
+  Alcotest.(check bool) "U after T" true (stratum_of "U" > stratum_of "T");
+  let out = Program.eval prog (edge_facts [ (1, 2); (2, 3) ]) in
+  let u = Option.get (Instance.relation out "U") in
+  (* Nodes {1,2,3}; T = {(1,2),(2,3),(1,3)}; U = 9 - 3 = 6 pairs. *)
+  Alcotest.(check int) "6 unreachable pairs" 6 (Relation.cardinal u);
+  Alcotest.(check bool) "(3,1) unreachable" true
+    (Relation.mem (Tuple.of_list [ v_int 3; v_int 1 ]) u);
+  Alcotest.(check bool) "(1,3) reachable" false
+    (Relation.mem (Tuple.of_list [ v_int 1; v_int 3 ]) u)
+
+let test_safety_and_stratification_errors () =
+  (* Unsafe: head variable not in a positive literal. *)
+  (match
+     Program.make
+       [ Program.rule ~head:(atom "P" [ var "x"; var "y" ]) [ pos "E" [ var "x"; var "x" ] ] ]
+   with
+   | Ok _ -> Alcotest.fail "unsafe head accepted"
+   | Error _ -> ());
+  (* Unsafe: negated variable not positively bound. *)
+  (match
+     Program.make
+       [ Program.rule ~head:(atom "P" [ var "x" ])
+           [ pos "E" [ var "x"; var "x" ]; neg "E" [ var "x"; var "z" ] ] ]
+   with
+   | Ok _ -> Alcotest.fail "unsafe negation accepted"
+   | Error _ -> ());
+  (* Recursion through negation. *)
+  match
+    Program.make
+      [
+        Program.rule ~head:(atom "P" [ var "x" ])
+          [ pos "E" [ var "x"; var "x" ]; neg "Q" [ var "x" ] ];
+        Program.rule ~head:(atom "Q" [ var "x" ])
+          [ pos "E" [ var "x"; var "x" ]; neg "P" [ var "x" ] ];
+      ]
+  with
+  | Ok _ -> Alcotest.fail "unstratifiable program accepted"
+  | Error _ -> ()
+
+let test_views_equivalence () =
+  (* The Figure-1 views evaluated as a Datalog program coincide with
+     View.materialise. *)
+  let views = Schema.views Whynot_workload.Cities.schema in
+  let prog = Program.of_views views in
+  Alcotest.(check bool) "non-recursive" false (Program.is_recursive prog);
+  let base = Whynot_workload.Cities.base_instance in
+  let via_datalog = Program.eval prog base in
+  let via_views = View.materialise views base in
+  List.iter
+    (fun name ->
+       let a = Instance.relation via_datalog name
+       and b = Instance.relation via_views name in
+       match a, b with
+       | Some a, Some b ->
+         Alcotest.(check bool) (name ^ " agrees") true (Relation.equal a b)
+       | _ -> Alcotest.failf "%s missing" name)
+    (View.view_names views)
+
+let test_recursive_reachable () =
+  (* The genuinely transitive Reachable the 2-hop view only approximates. *)
+  let prog =
+    Program.make_exn
+      [
+        Program.rule
+          ~head:(atom "ReachAll" [ var "x"; var "y" ])
+          [ pos "Train-Connections" [ var "x"; var "y" ] ];
+        Program.rule
+          ~head:(atom "ReachAll" [ var "x"; var "y" ])
+          [ pos "ReachAll" [ var "x"; var "z" ];
+            pos "Train-Connections" [ var "z"; var "y" ] ];
+      ]
+  in
+  let out = Program.eval prog Whynot_workload.Cities.base_instance in
+  let r = Option.get (Instance.relation out "ReachAll") in
+  (* Amsterdam reaches Rome in 2 hops (also in Reachable), and the
+     recursive version adds nothing beyond 2 hops on this instance except
+     closure over the A<->B loop, which the 2-hop view already has. *)
+  Alcotest.(check bool) "(A,Rome)" true
+    (Relation.mem (Tuple.of_list [ v_str "Amsterdam"; v_str "Rome" ]) r);
+  Alcotest.(check bool) "(NY, Santa Cruz)" true
+    (Relation.mem (Tuple.of_list [ v_str "New York"; v_str "Santa Cruz" ]) r);
+  Alcotest.(check bool) "no (A, NY)" false
+    (Relation.mem (Tuple.of_list [ v_str "Amsterdam"; v_str "New York" ]) r)
+
+let test_comparisons_and_constants () =
+  let prog =
+    Program.make_exn
+      [
+        Program.rule
+          ~head:(atom "Big" [ var "x"; Cq.Const (v_str "big") ])
+          ~comparisons:[ { Cq.subject = "p"; op = Cmp_op.Ge; value = v_int 10 } ]
+          [ pos "R" [ var "x"; var "p" ] ];
+      ]
+  in
+  let inst =
+    Instance.of_facts
+      [ ("R", [ [ v_int 1; v_int 5 ]; [ v_int 2; v_int 15 ] ]) ]
+  in
+  let out = Program.eval prog inst in
+  let big = Option.get (Instance.relation out "Big") in
+  Alcotest.(check int) "one fact" 1 (Relation.cardinal big);
+  Alcotest.(check bool) "tagged" true
+    (Relation.mem (Tuple.of_list [ v_int 2; v_str "big" ]) big)
+
+(* Property: semi-naive TC = reflexive-transitive-closure oracle. *)
+let prop_tc_matches_oracle =
+  QCheck2.Test.make ~name:"datalog TC = graph-reachability oracle" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 12) (pair (int_range 0 5) (int_range 0 5)))
+    (fun pairs ->
+       let inst = edge_facts pairs in
+       let out = Program.eval tc_program inst in
+       let t = Option.get (Instance.relation out "T") in
+       (* Oracle: BFS from each node. *)
+       let reach a =
+         let rec loop frontier seen =
+           match frontier with
+           | [] -> seen
+           | x :: rest ->
+             let nexts =
+               List.filter_map
+                 (fun (u, v) ->
+                    if u = x && not (List.mem v seen) then Some v else None)
+                 pairs
+             in
+             loop (nexts @ rest) (nexts @ seen)
+         in
+         loop [ a ] []
+       in
+       List.for_all
+         (fun (a, _) ->
+            List.for_all
+              (fun b ->
+                 Relation.mem (Tuple.of_list [ v_int a; v_int b ]) t
+                 = List.mem b (reach a))
+              (List.sort_uniq Stdlib.compare
+                 (List.concat_map (fun (u, v) -> [ u; v ]) pairs)))
+         pairs)
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "recursion",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "recursive reachable" `Quick test_recursive_reachable;
+        ] );
+      ( "negation",
+        [ Alcotest.test_case "stratified" `Quick test_stratified_negation ] );
+      ( "validation",
+        [ Alcotest.test_case "safety/stratification" `Quick test_safety_and_stratification_errors ] );
+      ( "views",
+        [
+          Alcotest.test_case "equivalence with View.materialise" `Quick test_views_equivalence;
+          Alcotest.test_case "comparisons/constants" `Quick test_comparisons_and_constants;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_tc_matches_oracle ] );
+    ]
