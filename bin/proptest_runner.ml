@@ -1,0 +1,115 @@
+(* Standalone driver for the differential property harness.
+
+   Replays the committed failure corpus first, then runs the selected
+   properties (all of them by default) from an explicit seed, so every
+   reported failure is reproducible with
+
+     proptest_runner --prop NAME --seed SEED --count COUNT
+
+   and can be pinned forever with --save-failures, which appends the
+   failing (prop, seed, count) triple to the corpus directory. *)
+
+module Props = Whynot_proptest.Props
+module Corpus = Whynot_proptest.Corpus
+
+let default_corpus_dir = "test/corpus"
+
+let () =
+  let list_only = ref false in
+  let seed = ref Props.default_seed in
+  let count = ref None in
+  let selected = ref [] in
+  let corpus_dir = ref default_corpus_dir in
+  let replay = ref true in
+  let save_failures = ref false in
+  let specs =
+    [
+      ("--list", Arg.Set list_only, " list registered properties and exit");
+      ( "--seed",
+        Arg.Set_int seed,
+        Printf.sprintf "N random seed (default %d)" Props.default_seed );
+      ( "--count",
+        Arg.Int (fun n -> count := Some n),
+        "N generations per property (default: per-property)" );
+      ( "--prop",
+        Arg.String (fun s -> selected := s :: !selected),
+        "NAME run only this property (repeatable)" );
+      ( "--corpus",
+        Arg.Set_string corpus_dir,
+        Printf.sprintf "DIR failure-corpus directory (default %s)"
+          default_corpus_dir );
+      ("--no-replay", Arg.Clear replay, " skip the corpus replay pass");
+      ( "--save-failures",
+        Arg.Set save_failures,
+        " append failing (prop, seed, count) triples to the corpus" );
+    ]
+  in
+  let usage = "proptest_runner [options]\n\nOptions:" in
+  Arg.parse (Arg.align specs)
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    usage;
+  if !list_only then begin
+    List.iter
+      (fun (p : Props.t) ->
+         Printf.printf "%-40s (default count %d)\n" p.Props.name
+           p.Props.default_count)
+      Props.all;
+    exit 0
+  end;
+  let props =
+    match !selected with
+    | [] -> Props.all
+    | names ->
+      List.rev_map
+        (fun name ->
+           match Props.find name with
+           | Some p -> p
+           | None ->
+             Printf.eprintf "unknown property %S; try --list\n" name;
+             exit 2)
+        names
+  in
+  let failures = ref 0 in
+  let ran = ref 0 in
+  let report name outcome =
+    incr ran;
+    match outcome with
+    | Ok () -> Printf.printf "PASS %s\n%!" name
+    | Error msg ->
+      incr failures;
+      Printf.printf "FAIL %s\n%s\n%!" name msg
+  in
+  if !replay then begin
+    let entries, errors = Corpus.load_dir !corpus_dir in
+    List.iter (Printf.eprintf "corpus: %s\n") errors;
+    List.iter
+      (fun (e : Corpus.entry) ->
+         match Props.find e.Corpus.prop with
+         | None ->
+           Printf.eprintf "corpus: unknown property %S\n" e.Corpus.prop
+         | Some p ->
+           report
+             (Printf.sprintf "replay %s seed=%d count=%d" e.Corpus.prop
+                e.Corpus.seed e.Corpus.count)
+             (Props.run ~count:e.Corpus.count ~seed:e.Corpus.seed p))
+      entries
+  end;
+  List.iter
+    (fun (p : Props.t) ->
+       let outcome = Props.run ?count:!count ~seed:!seed p in
+       (match outcome with
+        | Error _ when !save_failures ->
+          let entry =
+            {
+              Corpus.prop = p.Props.name;
+              seed = !seed;
+              count = Option.value !count ~default:p.Props.default_count;
+            }
+          in
+          let path = Corpus.save ~dir:!corpus_dir entry in
+          Printf.printf "saved %s\n%!" path
+        | _ -> ());
+       report p.Props.name outcome)
+    props;
+  Printf.printf "%d properties, %d failures\n%!" !ran !failures;
+  exit (if !failures = 0 then 0 else 1)

@@ -62,7 +62,13 @@ let ind_reach_rule schema c1 rhs_rel rhs_attr =
 (* --- complete checks based on canonical instantiations --- *)
 
 (* All canonical instantiations of the (unfolded) concept query of [c1],
-   optionally filtered by the schema's FDs, paired with the head constant. *)
+   optionally filtered by the schema's FDs, paired with the head constant.
+
+   When FD-filtering, the instantiations must include within-region variable
+   merges ([~merges:true]): the FD-satisfying witnesses of a query such as
+   [R(x,y1), R(x,y2), y2 > 2] under the FD R:1→2 are exactly the merges
+   y1 = y2, and the distinct-representatives enumeration alone would be
+   filtered down to nothing, leaving the containment check vacuously true. *)
 let canonical_candidates ?(fd_filter = false) schema c1 ~extra_constants =
   let u1 = To_query.ucq schema c1 in
   List.concat_map
@@ -81,7 +87,8 @@ let canonical_candidates ?(fd_filter = false) schema c1 ~extra_constants =
                      (Schema.fds schema)
               in
               if keep then Some (inst, Tuple.get head 1) else None)
-           (Containment.canonical_instantiations d ~extra_constants))
+           (Containment.canonical_instantiations ~merges:fd_filter d
+              ~extra_constants))
     u1.Ucq.disjuncts
 
 (* Complete subsumption check for the classes without INDs: every canonical

@@ -1,0 +1,89 @@
+type entry = {
+  prop : string;
+  seed : int;
+  count : int;
+}
+
+let entry_to_line e =
+  Printf.sprintf "prop=%s seed=%d count=%d" e.prop e.seed e.count
+
+let entry_of_line line =
+  let line = String.trim line in
+  if line = "" || String.length line > 0 && line.[0] = '#' then Ok None
+  else
+    let fields =
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> s <> "")
+      |> List.filter_map (fun tok ->
+             match String.index_opt tok '=' with
+             | None -> None
+             | Some i ->
+               Some
+                 ( String.sub tok 0 i,
+                   String.sub tok (i + 1) (String.length tok - i - 1) ))
+    in
+    let int_field k =
+      match List.assoc_opt k fields with
+      | None -> Error (Printf.sprintf "missing %s= in %S" k line)
+      | Some v ->
+        (match int_of_string_opt v with
+         | Some n -> Ok n
+         | None -> Error (Printf.sprintf "non-numeric %s= in %S" k line))
+    in
+    match List.assoc_opt "prop" fields with
+    | None -> Error (Printf.sprintf "missing prop= in %S" line)
+    | Some prop ->
+      (match int_field "seed", int_field "count" with
+       | Ok seed, Ok count -> Ok (Some { prop; seed; count })
+       | Error e, _ | _, Error e -> Error e)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error msg -> Error msg
+  | lines ->
+    let entries, errors =
+      List.fold_left
+        (fun (entries, errors) line ->
+           match entry_of_line line with
+           | Ok None -> (entries, errors)
+           | Ok (Some e) -> (e :: entries, errors)
+           | Error msg -> (entries, msg :: errors))
+        ([], []) lines
+    in
+    (match errors with
+     | [] -> Ok (List.rev entries)
+     | _ :: _ ->
+       Error
+         (Printf.sprintf "%s: %s" path (String.concat "; " (List.rev errors))))
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then ([], [])
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun (entries, errors) f ->
+            match load_file (Filename.concat dir f) with
+            | Ok es -> (entries @ es, errors)
+            | Error msg -> (entries, errors @ [ msg ]))
+         ([], [])
+
+let sanitize prop =
+  String.map (fun c -> if c = '/' || c = ' ' then '-' else c) prop
+
+let save ~dir entry =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (sanitize entry.prop ^ ".repro") in
+  let existed = Sys.file_exists path in
+  Out_channel.with_open_gen
+    [ Open_append; Open_creat; Open_text ]
+    0o644 path
+    (fun oc ->
+       if not existed then
+         Out_channel.output_string oc
+           "# failure corpus entry — replayed by `dune runtest` and \
+            `proptest_runner --replay`\n";
+       Out_channel.output_string oc (entry_to_line entry);
+       Out_channel.output_char oc '\n');
+  path

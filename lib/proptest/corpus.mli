@@ -1,0 +1,41 @@
+(** The replayable failure corpus.
+
+    Every failure the differential harness ever finds is persisted as a
+    [(property, seed, count)] triple in a [*.repro] file under
+    [test/corpus/]; the test-suite replays every committed entry before
+    (and in addition to) the fresh randomised run, so once-found bugs stay
+    fixed for good. Entries are deterministic: replaying
+    [prop=P seed=S count=N] re-runs property [P] with exactly the generator
+    stream that found the original failure.
+
+    File format — one entry per line, [#] comments and blank lines
+    ignored:
+
+    {v
+    # found by proptest_runner on an overnight run
+    prop=obda/induced-vs-chase seed=1234567 count=100
+    v} *)
+
+type entry = {
+  prop : string;  (** registered property name, see {!Props.all} *)
+  seed : int;     (** the [Random.State] seed that exposed the failure *)
+  count : int;    (** how many generations the original run used *)
+}
+
+val entry_to_line : entry -> string
+
+val entry_of_line : string -> (entry option, string) result
+(** [Ok None] for blank/comment lines; [Error _] for malformed ones. *)
+
+val load_file : string -> (entry list, string) result
+
+val load_dir : string -> entry list * string list
+(** All entries of every [*.repro] file in the directory (sorted by file
+    name), plus human-readable complaints for unreadable files or
+    malformed lines. A missing directory yields no entries and no
+    complaints. *)
+
+val save : dir:string -> entry -> string
+(** Append the entry to [dir/<prop>.repro] (slashes in the property name
+    become dashes; the directory is created if missing) and return the
+    file path. *)

@@ -1,0 +1,239 @@
+open Whynot_relational
+module Ls = Whynot_concept.Ls
+module Semantics = Whynot_concept.Semantics
+module Count = Whynot_concept.Count
+module Dl = Whynot_dllite.Dl
+module Tbox = Whynot_dllite.Tbox
+module Interp = Whynot_dllite.Interp
+
+(* ------------------------------------------------------------------ *)
+(* Selection-free subsumption without constraints                      *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_nominal_count c =
+  Ls.conjuncts c
+  |> List.filter_map (function Ls.Nominal v -> Some v | Ls.Proj _ -> None)
+  |> List.sort_uniq Value.compare
+  |> List.length
+
+(* C1 is unsatisfiable iff it carries two distinct nominals (selection-free,
+   no constraints: any single-nominal or nominal-free concept has a
+   one-element model). Otherwise C1 ⊑ C2 iff every conjunct of C2 occurs
+   literally in C1: for a missing conjunct D2 we can build a witness
+   instance placing one value in exactly the columns C1 mentions (choosing
+   C1's nominal for that value when present) while keeping it out of D2. *)
+let selection_free_no_constraints_subsumes c1 c2 =
+  if not (Ls.is_selection_free c1 && Ls.is_selection_free c2) then
+    invalid_arg "Oracle: selection-free concepts expected";
+  distinct_nominal_count c1 >= 2
+  ||
+  let cs1 = Ls.conjuncts c1 in
+  List.for_all (fun d -> List.mem d cs1) (Ls.conjuncts c2)
+
+(* ------------------------------------------------------------------ *)
+(* CQ containment by homomorphism search                               *)
+(* ------------------------------------------------------------------ *)
+
+let hom_contained q1 q2 =
+  if q1.Cq.comparisons <> [] || q2.Cq.comparisons <> [] then
+    invalid_arg "Oracle.hom_contained: comparison-free queries expected";
+  let fresh v = Value.Str ("?" ^ v) in
+  let frozen, frozen_head = Cq.freeze ~fresh q1 in
+  let bind subst x v =
+    match List.assoc_opt x subst with
+    | None -> Some ((x, v) :: subst)
+    | Some v' -> if Value.equal v v' then Some subst else None
+  in
+  let match_args subst args values =
+    List.fold_left2
+      (fun acc arg v ->
+         match acc with
+         | None -> None
+         | Some subst ->
+           (match arg with
+            | Cq.Const c -> if Value.equal c v then Some subst else None
+            | Cq.Var x -> bind subst x v))
+      (Some subst) args values
+  in
+  let rec go subst = function
+    | [] ->
+      (* All atoms embedded; the head image must be the frozen head. *)
+      let image = function
+        | Cq.Const c -> Some c
+        | Cq.Var x -> List.assoc_opt x subst
+      in
+      let imgs = List.map image q2.Cq.head in
+      List.for_all Option.is_some imgs
+      && Tuple.equal
+           (Tuple.of_list (List.map Option.get imgs))
+           frozen_head
+    | (atom : Cq.atom) :: rest ->
+      let facts =
+        match Instance.relation frozen atom.Cq.rel with
+        | None -> []
+        | Some r -> Relation.to_list r
+      in
+      List.exists
+        (fun fact ->
+           List.length atom.Cq.args = Tuple.arity fact
+           &&
+           match match_args subst atom.Cq.args (Tuple.to_list fact) with
+           | None -> false
+           | Some subst' -> go subst' rest)
+        facts
+  in
+  go [] q2.Cq.atoms
+
+(* ------------------------------------------------------------------ *)
+(* DL-LiteR: positive chase into a finite model                        *)
+(* ------------------------------------------------------------------ *)
+
+let witness role =
+  match role with
+  | Dl.Named p -> Value.str ("_w+" ^ p)
+  | Dl.Inv p -> Value.str ("_w-" ^ p)
+
+(* Add an r-successor for [x]: x gets into ext(exists r). *)
+let add_successor role x interp =
+  match role with
+  | Dl.Named p -> Interp.add_role_edge p x (witness role) interp
+  | Dl.Inv p -> Interp.add_role_edge p (witness role) x interp
+
+let add_role_pair role (x, y) interp =
+  match role with
+  | Dl.Named p -> Interp.add_role_edge p x y interp
+  | Dl.Inv p -> Interp.add_role_edge p y x interp
+
+let interp_size tbox interp =
+  let concepts =
+    List.fold_left
+      (fun acc a ->
+         acc + Value_set.cardinal (Interp.concept_ext interp (Dl.Atom a)))
+      0 (Tbox.atomic_concepts tbox)
+  in
+  List.fold_left
+    (fun acc p -> acc + List.length (Interp.role_ext interp (Dl.Named p)))
+    concepts (Tbox.atomic_roles tbox)
+
+let chase_step axioms interp =
+  List.fold_left
+    (fun interp axiom ->
+       match axiom with
+       | Tbox.Concept_incl (_, Dl.Not _) | Tbox.Role_incl (_, Dl.NotR _) ->
+         interp
+       | Tbox.Concept_incl (b, Dl.B rhs) ->
+         let members = Interp.concept_ext interp b in
+         Value_set.fold
+           (fun x interp ->
+              match rhs with
+              | Dl.Atom a -> Interp.add_concept_member a x interp
+              | Dl.Exists r ->
+                if Value_set.mem x (Interp.concept_ext interp (Dl.Exists r))
+                then interp
+                else add_successor r x interp)
+           members interp
+       | Tbox.Role_incl (r1, Dl.R r2) ->
+         List.fold_left
+           (fun interp pair -> add_role_pair r2 pair interp)
+           interp
+           (Interp.role_ext interp r1))
+    interp axioms
+
+let positive_chase tbox interp =
+  let axioms = Tbox.axioms tbox in
+  let rec loop interp n =
+    let interp' = chase_step axioms interp in
+    if interp_size tbox interp' = n then interp'
+    else loop interp' (interp_size tbox interp')
+  in
+  loop interp (interp_size tbox interp)
+
+let interp_individuals interp =
+  let from_concepts =
+    List.fold_left
+      (fun acc a ->
+         Value_set.union acc (Interp.concept_ext interp (Dl.Atom a)))
+      Value_set.empty (Interp.concept_names interp)
+  in
+  List.fold_left
+    (fun acc p ->
+       List.fold_left
+         (fun acc (x, y) -> Value_set.add x (Value_set.add y acc))
+         acc
+         (Interp.role_ext interp (Dl.Named p)))
+    from_concepts (Interp.role_names interp)
+
+let chase_certain_extension spec inst b =
+  let retrieved = Whynot_obda.Spec.retrieve spec inst in
+  let named = interp_individuals retrieved in
+  let chased = positive_chase (Whynot_obda.Spec.tbox spec) retrieved in
+  let ext = Interp.concept_ext chased b in
+  Value_set.filter (fun c -> Value_set.mem c ext) named
+
+(* ------------------------------------------------------------------ *)
+(* Irredundancy by exhaustive subset search                            *)
+(* ------------------------------------------------------------------ *)
+
+let minimal_equivalent_conjunct_count inst c =
+  let cs = Array.of_list (Ls.conjuncts c) in
+  let n = Array.length cs in
+  if n > 12 then
+    invalid_arg "Oracle.minimal_equivalent_conjunct_count: too many conjuncts";
+  let full = Semantics.extension c inst in
+  let best = ref n in
+  for mask = 0 to (1 lsl n) - 1 do
+    let size = ref 0 in
+    let sub = ref [] in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        incr size;
+        sub := cs.(i) :: !sub
+      end
+    done;
+    if
+      !size < !best
+      && Semantics.ext_equal
+           (Semantics.extension (Ls.of_conjuncts !sub) inst)
+           full
+    then best := !size
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Upper-bound candidate spaces for the lub oracles                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains_all inst x c =
+  Value_set.for_all (fun v -> Semantics.mem v c inst) x
+
+let selection_free_upper_bounds inst ~nominals x =
+  Count.enumerate_selection_free inst nominals
+  |> List.filter (contains_all inst x)
+
+let single_condition_upper_bounds inst x =
+  let adom = Value_set.elements (Instance.adom inst) in
+  let candidates =
+    List.concat_map
+      (fun rel ->
+         let r = Option.get (Instance.relation inst rel) in
+         let k = Relation.arity r in
+         let attrs = List.init k (fun i -> i + 1) in
+         List.concat_map
+           (fun attr ->
+              Ls.proj ~rel ~attr ()
+              :: List.concat_map
+                   (fun sattr ->
+                      List.concat_map
+                        (fun op ->
+                           List.map
+                             (fun v ->
+                                Ls.proj ~rel ~attr
+                                  ~sels:[ { Ls.attr = sattr; op; value = v } ]
+                                  ())
+                             adom)
+                        Cmp_op.all)
+                   attrs)
+           attrs)
+      (Instance.relation_names inst)
+  in
+  List.filter (contains_all inst x) candidates

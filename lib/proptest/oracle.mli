@@ -1,0 +1,76 @@
+(** Brute-force reference implementations ("oracles") for differential
+    testing.
+
+    Every function here recomputes, by a deliberately naive route, a result
+    that some optimised module of the main libraries also computes. The
+    property-based harness ({!Props}) generates random inputs and checks
+    that the two routes agree; a disagreement is a bug in one of the two.
+    None of these functions share code with the implementation they check
+    beyond the basic data structures. *)
+
+open Whynot_relational
+
+val selection_free_no_constraints_subsumes :
+  Whynot_concept.Ls.t -> Whynot_concept.Ls.t -> bool
+(** [C1 ⊑_S C2] for selection-free concepts over a schema with no integrity
+    constraints, decided syntactically: subsumption holds iff [C1] is
+    unsatisfiable (two distinct nominals) or every conjunct of [C2] occurs
+    among the conjuncts of [C1]. This is a complete characterisation for
+    the constraint-free, selection-free fragment (one-element witness
+    instances realise every failure). Both arguments must be
+    selection-free. *)
+
+val hom_contained : Cq.t -> Cq.t -> bool
+(** [hom_contained q1 q2]: does [q1 ⊆ q2] hold over every instance, decided
+    by the classical canonical-database test — freeze [q1] and search for a
+    homomorphism from [q2] into the frozen instance mapping head to head.
+    Both queries must be safe, comparison-free, and of the same arity.
+    @raise Invalid_argument when a query carries comparisons. *)
+
+val positive_chase :
+  Whynot_dllite.Tbox.t -> Whynot_dllite.Interp.t -> Whynot_dllite.Interp.t
+(** Close an interpretation under the {e positive} axioms of the TBox:
+    memberships propagate along concept inclusions, existential
+    requirements are satisfied by one global witness element per role
+    direction, and role inclusions copy edges. Negative axioms are ignored.
+    Terminates because the domain grows by at most two witnesses per atomic
+    role. The result is a model of the positive part of the TBox extending
+    the input. *)
+
+val interp_individuals : Whynot_dllite.Interp.t -> Value_set.t
+(** Every constant occurring in the interpretation (concept members and
+    role-edge endpoints). *)
+
+val chase_certain_extension :
+  Whynot_obda.Spec.t -> Instance.t -> Whynot_dllite.Dl.basic -> Value_set.t
+(** The certain extension [ext_OB(B, I)] computed by materialising a model:
+    retrieve the assertions through the mappings, chase them under the
+    positive TBox axioms ({!positive_chase}), and read off which {e named}
+    individuals (those occurring in the retrieved assertions) ended up in
+    the extension of [B]. Differential oracle for
+    {!Whynot_obda.Induced.extension}, which instead forward-chains the
+    saturated subsumption closure per constant. *)
+
+val minimal_equivalent_conjunct_count :
+  Instance.t -> Whynot_concept.Ls.t -> int
+(** The size of the smallest subset of the concept's conjuncts whose meet
+    has the same extension over the instance — found by exhaustive subset
+    search. Differential oracle for {!Whynot_concept.Irredundant.minimise}.
+    @raise Invalid_argument when the concept has more than 12 conjuncts. *)
+
+val selection_free_upper_bounds :
+  Instance.t -> nominals:Value_set.t -> Value_set.t ->
+  Whynot_concept.Ls.t list
+(** All selection-free concepts (enumerated over the instance's positions
+    with nominals from [nominals]) whose extension contains the given
+    constant set — the candidate space against which
+    {!Whynot_concept.Lub.lub} must be least. Exponential; small instances
+    only. *)
+
+val single_condition_upper_bounds :
+  Instance.t -> Value_set.t -> Whynot_concept.Ls.t list
+(** All atomic concepts [pi_A(sigma_{B op c}(R))] with at most one selection
+    condition ([c] ranging over the active domain), plus the selection-free
+    atomic concepts, whose extension contains the given constant set. Every
+    member is an upper bound that {!Whynot_concept.Lub.lub_sigma} must lie
+    below. *)

@@ -1,0 +1,430 @@
+open Whynot_relational
+module QG = QCheck2.Gen
+module Ls = Whynot_concept.Ls
+module Semantics = Whynot_concept.Semantics
+module Lub = Whynot_concept.Lub
+module Subsume_schema = Whynot_concept.Subsume_schema
+module Subsume_inst = Whynot_concept.Subsume_inst
+module Irredundant = Whynot_concept.Irredundant
+module Whynot = Whynot_core.Whynot
+module Explanation = Whynot_core.Explanation
+module Exhaustive = Whynot_core.Exhaustive
+module Incremental = Whynot_core.Incremental
+module Ontology = Whynot_core.Ontology
+module Reasoner = Whynot_dllite.Reasoner
+module Canonical = Whynot_dllite.Canonical
+module Interp = Whynot_dllite.Interp
+module Tbox = Whynot_dllite.Tbox
+module Induced = Whynot_obda.Induced
+module Spec = Whynot_obda.Spec
+module Parser = Whynot_text.Parser
+
+let ( let* ) = QG.( let* )
+
+type t = {
+  name : string;
+  default_count : int;
+  make : count:int -> QCheck2.Test.t;
+}
+
+let prop name default_count print gen check =
+  {
+    name;
+    default_count;
+    make = (fun ~count -> QCheck2.Test.make ~name ~count ~print gen check);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printers for shrunk counterexamples                                 *)
+(* ------------------------------------------------------------------ *)
+
+let str_instance i = Format.asprintf "%a" Instance.pp i
+let str_schema s = Format.asprintf "%a" Schema.pp s
+
+let str_cq (q : Cq.t) =
+  let term = function Cq.Var v -> v | Cq.Const c -> Value.to_string c in
+  Printf.sprintf "q(%s) := %s"
+    (String.concat ", " (List.map term q.Cq.head))
+    (Surface.cq_body q)
+
+let str_whynot = function
+  | None -> "<no missing tuple available>"
+  | Some wn -> Format.asprintf "%a" Whynot.pp wn
+
+(* ------------------------------------------------------------------ *)
+(* MGE computation: Algorithm 2 vs Algorithm 1                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Incremental search works w.r.t. the infinite derived ontology [O_I];
+   its selection-free variant only ever produces concepts of the finite
+   restriction [O_I[K]] with [K] the constant pool of the question
+   (Proposition 5.1), so its answer must be equivalent to one of the MGEs
+   the exhaustive algorithm computes over that materialisation — and,
+   conversely, every exhaustive MGE must pass the incremental CHECK-MGE
+   procedure. *)
+let mge_incremental_vs_exhaustive =
+  prop "mge/incremental-vs-exhaustive" 100 str_whynot Gen.whynot (function
+    | None -> true
+    | Some wn ->
+      let o =
+        Ontology.of_instance_finite wn.Whynot.instance (Whynot.constant_pool wn)
+      in
+      let exhaustive = Exhaustive.all_mges o wn in
+      let incremental =
+        Incremental.one_mge ~variant:Incremental.Selection_free wn
+      in
+      Explanation.is_explanation o wn incremental
+      && List.exists (fun e -> Explanation.equivalent o e incremental) exhaustive
+      && List.for_all (fun e -> Incremental.check_mge wn e) exhaustive)
+
+let mge_incremental_selections =
+  prop "mge/incremental-selections-check" 100 str_whynot Gen.whynot (function
+    | None -> true
+    | Some wn ->
+      let o = Ontology.of_instance wn.Whynot.instance in
+      let e = Incremental.one_mge ~variant:Incremental.With_selections wn in
+      Explanation.is_explanation o wn e
+      && Incremental.check_mge ~variant:Incremental.With_selections wn e
+      && Explanation.less_general o (Incremental.trivial_explanation wn) e)
+
+(* ------------------------------------------------------------------ *)
+(* Schema-level subsumption deciders vs Table 1                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_subsume_case =
+  let* cls = Gen.schema_class in
+  let* s = Gen.schema ~max_arity:2 cls in
+  (* The IND fragment of Table 1 is only complete selection-free. *)
+  let with_selections = match cls with Gen.Inds_only -> false | _ -> true in
+  let concept = Gen.concept ~with_selections ~max_conjuncts:2 ~max_sels:1 s in
+  let* c1 = concept in
+  let* c2 = concept in
+  let* i1 = Gen.legal_instance s in
+  let* i2 = Gen.legal_instance s in
+  QG.return (cls, s, c1, c2, [ i1; i2 ])
+
+let str_subsume_case (_, s, c1, c2, insts) =
+  Printf.sprintf "%s\nC1 = %s\nC2 = %s\n%s" (str_schema s) (Ls.to_string c1)
+    (Ls.to_string c2)
+    (String.concat "\n" (List.map str_instance insts))
+
+(* [Subsumed] verdicts must hold on every legal instance, and the pure
+   constraint classes (everything except [Mixed]) admit complete
+   procedures, so [Unknown] is only ever allowed for [Mixed]. *)
+let subsume_deciders_sound =
+  prop "subsume/deciders-sound-on-instances" 150 str_subsume_case
+    gen_subsume_case (fun (cls, s, c1, c2, insts) ->
+      match Subsume_schema.decide s c1 c2 with
+      | Subsume_schema.Subsumed ->
+        List.for_all (fun i -> Subsume_inst.subsumes i c1 c2) insts
+      | Subsume_schema.Not_subsumed -> true
+      | Subsume_schema.Unknown -> ( match cls with Gen.Mixed -> true | _ -> false))
+
+let gen_noconstraints_pair =
+  let* s = Gen.schema No_constraints in
+  let concept = Gen.concept ~with_selections:false s in
+  let* c1 = concept in
+  let* c2 = concept in
+  QG.return (s, c1, c2)
+
+let subsume_noconstraints_vs_syntactic =
+  prop "subsume/noconstraints-vs-syntactic" 400
+    (fun (s, c1, c2) ->
+      Printf.sprintf "%s\nC1 = %s\nC2 = %s" (str_schema s) (Ls.to_string c1)
+        (Ls.to_string c2))
+    gen_noconstraints_pair
+    (fun (s, c1, c2) ->
+      let expected =
+        if Oracle.selection_free_no_constraints_subsumes c1 c2 then
+          Subsume_schema.Subsumed
+        else Subsume_schema.Not_subsumed
+      in
+      Subsume_schema.decide s c1 c2 = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Least upper bounds vs brute-force candidate enumeration             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_instance_with_targets =
+  let* inst = Gen.instance in
+  match Value_set.elements (Instance.adom inst) with
+  | [] -> QG.return (inst, [])
+  | vals ->
+    let* n = QG.int_range 1 (min 3 (List.length vals)) in
+    let* shuffled = QG.shuffle_l vals in
+    QG.return (inst, List.filteri (fun i _ -> i < n) shuffled)
+
+let str_instance_with_targets (inst, xs) =
+  Printf.sprintf "%s\nX = {%s}" (str_instance inst)
+    (String.concat ", " (List.map Value.to_string xs))
+
+let lub_least_vs_enumeration =
+  prop "lub/least-vs-enumeration" 250 str_instance_with_targets
+    gen_instance_with_targets (fun (inst, xs) ->
+      match xs with
+      | [] -> true
+      | _ ->
+        let x = Value_set.of_list xs in
+        let ext = Semantics.extension (Lub.lub inst x) inst in
+        List.for_all (fun v -> Semantics.ext_mem v ext) xs
+        && List.for_all
+             (fun c -> Semantics.ext_subset ext (Semantics.extension c inst))
+             (Oracle.selection_free_upper_bounds inst ~nominals:x x))
+
+let lub_sigma_vs_single_condition =
+  prop "lub/sigma-vs-single-condition-bounds" 150 str_instance_with_targets
+    gen_instance_with_targets (fun (inst, xs) ->
+      match xs with
+      | [] -> true
+      | _ ->
+        let x = Value_set.of_list xs in
+        let ext = Semantics.extension (Lub.lub_sigma inst x) inst in
+        List.for_all (fun v -> Semantics.ext_mem v ext) xs
+        (* lubσ ranges over a richer language, so it lies below lub. *)
+        && Semantics.ext_subset ext (Semantics.extension (Lub.lub inst x) inst)
+        && List.for_all
+             (fun c -> Semantics.ext_subset ext (Semantics.extension c inst))
+             (Oracle.single_condition_upper_bounds inst x))
+
+(* ------------------------------------------------------------------ *)
+(* DL-Lite saturation vs finite models and the canonical model         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tbox_with_model =
+  let* tb = Gen.tbox in
+  let* m = Gen.model_of tb in
+  QG.return (tb, m)
+
+let str_tbox_with_model (tb, m) =
+  Format.asprintf "%a@.%a" Tbox.pp tb Instance.pp (Interp.to_instance m)
+
+let dllite_saturation_sound =
+  prop "dllite/saturation-sound-on-models" 250 str_tbox_with_model
+    gen_tbox_with_model (fun (tb, m) ->
+      (* The chase only closes the positive axioms; discard the draws
+         that violate a negative one. *)
+      (not (Interp.satisfies m tb))
+      ||
+      let r = Reasoner.saturate tb in
+      let universe = Reasoner.universe r in
+      List.for_all
+        (fun b1 ->
+          List.for_all
+            (fun b2 ->
+              (not (Reasoner.subsumes r b1 b2))
+              || Interp.satisfies_inclusion m b1 b2)
+            universe)
+        universe)
+
+let dllite_saturation_complete =
+  prop "dllite/saturation-complete-vs-canonical" 300
+    (Format.asprintf "%a" Tbox.pp)
+    Gen.tbox
+    (fun tb ->
+      let r = Reasoner.saturate tb in
+      let m = Canonical.build r in
+      Interp.satisfies m tb
+      && List.for_all
+           (fun b1 ->
+             List.for_all
+               (fun b2 ->
+                 Reasoner.subsumes r b1 b2
+                 || not (Interp.satisfies_inclusion m b1 b2))
+               (Reasoner.universe r))
+           (Reasoner.universe r))
+
+(* ------------------------------------------------------------------ *)
+(* OBDA certain extensions vs a direct chase                           *)
+(* ------------------------------------------------------------------ *)
+
+let obda_induced_vs_chase =
+  prop "obda/induced-vs-chase" 150
+    (fun (spec, inst) ->
+      Format.asprintf "%a@.%a" Spec.pp spec Instance.pp inst)
+    Gen.obda
+    (fun (spec, inst) ->
+      let induced = Induced.prepare spec inst in
+      (* When the retrieved assertions contradict the TBox there is no
+         solution: [Induced.extension] then answers through the
+         unsatisfiability closure, which the purely positive chase cannot
+         (and should not) reproduce. *)
+      match Induced.consistent induced with
+      | Error _ -> true
+      | Ok () ->
+        List.for_all
+          (fun b ->
+            Value_set.equal (Induced.extension induced b)
+              (Oracle.chase_certain_extension spec inst b))
+          (Induced.concepts induced))
+
+(* ------------------------------------------------------------------ *)
+(* Irredundant minimisation vs exhaustive subset search                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_instance_with_concept =
+  let* inst = Gen.instance in
+  let* c = Gen.concept ~max_conjuncts:4 Gen.rs_schema in
+  QG.return (inst, c)
+
+(* A conjunction's extension is the meet of its conjuncts' extensions, so
+   the equivalent subsets of a conjunct set are upward closed; hence "no
+   single conjunct can be dropped" coincides with "no strict subset is
+   equivalent", i.e. irredundancy holds iff the exhaustive minimum subset
+   size equals the conjunct count. *)
+let irredundant_vs_subset_search =
+  prop "concept/irredundant-vs-subset-search" 300
+    (fun (inst, c) ->
+      Printf.sprintf "%s\nC = %s" (str_instance inst) (Ls.to_string c))
+    gen_instance_with_concept
+    (fun (inst, c) ->
+      let m = Irredundant.minimise inst c in
+      Semantics.ext_equal (Semantics.extension m inst)
+        (Semantics.extension c inst)
+      && Irredundant.is_irredundant inst m
+      && Oracle.minimal_equivalent_conjunct_count inst m
+         = List.length (Ls.conjuncts m)
+      && Irredundant.is_irredundant inst c
+         = (Oracle.minimal_equivalent_conjunct_count inst c
+            = List.length (Ls.conjuncts c)))
+
+(* ------------------------------------------------------------------ *)
+(* CQ containment vs the homomorphism test                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cq_pair =
+  let cq = Gen.cq ~with_comparisons:false ~max_atoms:2 ~arity:1 Gen.rs_schema in
+  let* q1 = cq in
+  let* q2 = cq in
+  QG.return (q1, q2)
+
+let cq_containment_vs_homomorphism =
+  prop "cq/containment-vs-homomorphism" 300
+    (fun (q1, q2) -> Printf.sprintf "%s\n%s" (str_cq q1) (str_cq q2))
+    gen_cq_pair
+    (fun (q1, q2) ->
+      Containment.cq_in_cq q1 q2 = Oracle.hom_contained q1 q2)
+
+let gen_cq_pair_with_instance =
+  let cq = Gen.cq ~max_atoms:2 ~arity:1 Gen.rs_schema in
+  let* q1 = cq in
+  let* q2 = cq in
+  let* inst = Gen.instance in
+  QG.return (q1, q2, inst)
+
+let cq_containment_sound =
+  prop "cq/containment-sound-on-instances" 250
+    (fun (q1, q2, inst) ->
+      Printf.sprintf "%s\n%s\n%s" (str_cq q1) (str_cq q2) (str_instance inst))
+    gen_cq_pair_with_instance
+    (fun (q1, q2, inst) ->
+      (* Dropping a comparison weakens the query, so containment must be
+         derivable — a completeness probe with a known-true answer. *)
+      let weakened =
+        match q1.Cq.comparisons with
+        | [] -> q1
+        | _ :: rest -> { q1 with Cq.comparisons = rest }
+      in
+      Containment.cq_in_cq q1 q1
+      && Containment.cq_in_cq q1 weakened
+      && ((not (Containment.cq_in_cq q1 q2))
+          || Relation.subset (Cq.eval q1 inst) (Cq.eval q2 inst)))
+
+(* ------------------------------------------------------------------ *)
+(* Text parser vs the Surface printer                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_schema_with_concept =
+  let* s = Gen.schema No_constraints in
+  let* c = Gen.concept s in
+  QG.return (s, c)
+
+let text_concept_roundtrip =
+  prop "text/concept-roundtrip" 300
+    (fun (s, c) ->
+      Printf.sprintf "%s\nC = %s\nprinted = %s" (str_schema s) (Ls.to_string c)
+        (Surface.concept s c))
+    gen_schema_with_concept
+    (fun (s, c) ->
+      match Parser.parse (Surface.document s Instance.empty) with
+      | Error _ -> false
+      | Ok doc ->
+        (match Parser.concept_of_string doc (Surface.concept s c) with
+         | Error _ -> false
+         | Ok c' -> Ls.equal c c'))
+
+let gen_schema_with_instance =
+  let* cls = Gen.schema_class in
+  let* s = Gen.schema cls in
+  let* inst = Gen.legal_instance s in
+  QG.return (s, inst)
+
+let text_document_roundtrip =
+  prop "text/document-roundtrip" 250
+    (fun (s, inst) -> Surface.document s inst)
+    gen_schema_with_instance
+    (fun (s, inst) ->
+      match Parser.parse (Surface.document s inst) with
+      | Error _ -> false
+      | Ok doc ->
+        (match Parser.schema_of doc with
+         | Error _ -> false
+         | Ok s' ->
+           let sorted l = List.sort Stdlib.compare l in
+           Schema.relations s' = Schema.relations s
+           && sorted (Schema.fds s') = sorted (Schema.fds s)
+           && sorted (Schema.inds s') = sorted (Schema.inds s)
+           && Instance.equal (Parser.instance_of doc) inst))
+
+let text_values_roundtrip =
+  prop "text/values-roundtrip" 500
+    (fun vs -> String.concat ", " (List.map Value.to_string vs))
+    (QG.list_size (QG.int_range 1 5) Gen.value)
+    (fun vs ->
+      let printed = String.concat ", " (List.map Value.to_string vs) in
+      match Parser.values_of_string printed with
+      | Error _ -> false
+      | Ok vs' ->
+        List.length vs = List.length vs' && List.for_all2 Value.equal vs vs')
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    mge_incremental_vs_exhaustive;
+    mge_incremental_selections;
+    subsume_deciders_sound;
+    subsume_noconstraints_vs_syntactic;
+    lub_least_vs_enumeration;
+    lub_sigma_vs_single_condition;
+    dllite_saturation_sound;
+    dllite_saturation_complete;
+    obda_induced_vs_chase;
+    irredundant_vs_subset_search;
+    cq_containment_vs_homomorphism;
+    cq_containment_sound;
+    text_concept_roundtrip;
+    text_document_roundtrip;
+    text_values_roundtrip;
+  ]
+
+let names = List.map (fun p -> p.name) all
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let default_seed = 20250806
+
+let run ?count ~seed p =
+  let count = Option.value count ~default:p.default_count in
+  let test = p.make ~count in
+  match QCheck2.Test.check_exn ~rand:(Random.State.make [| seed |]) test with
+  | () -> Ok ()
+  | exception QCheck2.Test_exceptions.Test_fail (name, cexs) ->
+    Error
+      (Printf.sprintf "%s failed (seed %d, count %d) on:\n%s" name seed count
+         (String.concat "\n---\n" cexs))
+  | exception QCheck2.Test_exceptions.Test_error (name, cex, exn, _bt) ->
+    Error
+      (Printf.sprintf "%s raised %s (seed %d, count %d) on:\n%s" name
+         (Printexc.to_string exn) seed count cex)

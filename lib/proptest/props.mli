@@ -1,0 +1,56 @@
+(** The differential-property registry.
+
+    Each property pairs a generator from {!Gen} with a boolean check that
+    cross-validates an optimised implementation against an independent
+    oracle from {!Oracle} (or against a second implementation of the same
+    function). The registry is consumed by the [proptest_runner]
+    executable and by the [test_prop] alcotest suite; both run every
+    property from an explicit seed, so failures are reproducible by
+    [(name, seed, count)] alone — exactly what {!Corpus} persists.
+
+    The oracle pairs (one property each unless noted):
+
+    - Incremental (Alg. 2) vs Exhaustive (Alg. 1) MGE computation over the
+      materialised ontology [O_I[K]], plus [check_mge] cross-validation.
+    - Incremental with selections: explanation-hood, [check_mge], and
+      dominance over the trivial nominal explanation.
+    - [Subsume_schema.decide] vs extension inclusion on random legal
+      instances (soundness) and vs completeness per Table-1 class.
+    - [Subsume_schema.decide] vs the syntactic characterisation of
+      selection-free, no-constraints subsumption (exact equivalence).
+    - [Lub.lub] vs brute-force enumeration of all selection-free upper
+      bounds (leastness).
+    - [Lub.lub_sigma] vs single-condition upper bounds and vs [Lub.lub].
+    - DL-Lite [Reasoner] saturation vs random finite models (soundness).
+    - DL-Lite [Reasoner] saturation vs the [Canonical] model
+      (completeness).
+    - OBDA [Induced.extension] vs a direct positive chase of the retrieved
+      assertions.
+    - [Irredundant] vs exhaustive subset search over conjuncts.
+    - [Containment.cq_in_cq] vs the canonical-database homomorphism test
+      (comparison-free fragment), and soundness on sampled instances with
+      comparisons.
+    - Text [Parser] vs {!Surface} printer: concept, document and value
+      round-trips. *)
+
+type t = {
+  name : string;  (** e.g. ["lub/least-vs-enumeration"] *)
+  default_count : int;  (** generations per run when the caller has no
+                            opinion — tuned so the whole registry stays
+                            fast enough for [dune runtest] *)
+  make : count:int -> QCheck2.Test.t;
+}
+
+val all : t list
+
+val names : string list
+
+val find : string -> t option
+
+val default_seed : int
+(** The seed both the test-suite and the runner default to ([20250806]).
+    Override with [PROPTEST_SEED] (suite) or [--seed] (runner). *)
+
+val run : ?count:int -> seed:int -> t -> (unit, string) result
+(** Run the property with the given seed; [Error] carries the printed
+    counterexample (after shrinking) or the raised exception. *)

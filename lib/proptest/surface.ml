@@ -1,0 +1,107 @@
+open Whynot_relational
+module Ls = Whynot_concept.Ls
+
+let buf_add = Buffer.add_string
+
+let attr_name schema ~rel attr =
+  match Schema.attr_name schema ~rel attr with
+  | Some name -> name
+  | None -> string_of_int attr
+
+let concept schema c =
+  match Ls.conjuncts c with
+  | [] -> "top"
+  | conjuncts ->
+    conjuncts
+    |> List.map (function
+         | Ls.Nominal v -> Printf.sprintf "{%s}" (Value.to_string v)
+         | Ls.Proj { rel; attr; sels } ->
+           let sel_str =
+             match sels with
+             | [] -> ""
+             | _ ->
+               Printf.sprintf "[%s]"
+                 (String.concat ", "
+                    (List.map
+                       (fun (s : Ls.selection) ->
+                          Printf.sprintf "%s %s %s"
+                            (attr_name schema ~rel s.Ls.attr)
+                            (Cmp_op.to_string s.Ls.op)
+                            (Value.to_string s.Ls.value))
+                       sels))
+           in
+           Printf.sprintf "%s.%s%s" rel (attr_name schema ~rel attr) sel_str)
+    |> String.concat " & "
+
+let term = function
+  | Cq.Var v -> v
+  | Cq.Const c -> Value.to_string c
+
+let cq_body (q : Cq.t) =
+  let atoms =
+    List.map
+      (fun (a : Cq.atom) ->
+         Printf.sprintf "%s(%s)" a.Cq.rel
+           (String.concat ", " (List.map term a.Cq.args)))
+      q.Cq.atoms
+  in
+  let comparisons =
+    List.map
+      (fun (c : Cq.comparison) ->
+         Printf.sprintf "%s %s %s" c.Cq.subject
+           (Cmp_op.to_string c.Cq.op)
+           (Value.to_string c.Cq.value))
+      q.Cq.comparisons
+  in
+  String.concat ", " (atoms @ comparisons)
+
+let document schema inst =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (d : Schema.rel_decl) ->
+       buf_add buf
+         (Printf.sprintf "relation %s(%s)\n" d.Schema.name
+            (String.concat ", " d.Schema.attrs)))
+    (Schema.relations schema);
+  List.iter
+    (fun (fd : Fd.t) ->
+       buf_add buf
+         (Printf.sprintf "fd %s: %s -> %s\n" fd.Fd.rel
+            (String.concat ", " (List.map string_of_int fd.Fd.lhs))
+            (String.concat ", " (List.map string_of_int fd.Fd.rhs))))
+    (Schema.fds schema);
+  List.iter
+    (fun (ind : Ind.t) ->
+       buf_add buf
+         (Printf.sprintf "ind %s[%s] <= %s[%s]\n" ind.Ind.lhs_rel
+            (String.concat ", " (List.map string_of_int ind.Ind.lhs_attrs))
+            ind.Ind.rhs_rel
+            (String.concat ", " (List.map string_of_int ind.Ind.rhs_attrs))))
+    (Schema.inds schema);
+  List.iter
+    (fun (v : View.def) ->
+       let head =
+         match v.View.body.Ucq.disjuncts with
+         | [] -> "()"
+         | q :: _ -> String.concat ", " (List.map term q.Cq.head)
+       in
+       buf_add buf
+         (Printf.sprintf "view %s(%s) := %s\n" v.View.name head
+            (String.concat "\n  | "
+               (List.map cq_body v.View.body.Ucq.disjuncts))))
+    (View.defs (Schema.views schema));
+  let data = Schema.data_relation_names schema in
+  List.iter
+    (fun rel ->
+       match Instance.relation inst rel with
+       | None -> ()
+       | Some r ->
+         Relation.iter
+           (fun t ->
+              buf_add buf
+                (Printf.sprintf "fact %s(%s)\n" rel
+                   (String.concat ", "
+                      (List.map Value.to_string (Tuple.to_list t)))))
+           r)
+    data;
+  Buffer.contents buf

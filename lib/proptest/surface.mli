@@ -1,0 +1,22 @@
+(** Rendering of generated artifacts into the {!Whynot_text} surface
+    syntax, for parse/print round-trip properties.
+
+    {!Whynot_concept.Ls.pp} prints the mathematical notation
+    ([pi_a1(sigma_...(R0))]), which the parser does not read; these
+    functions emit the parser's grammar instead ([R0.a1[a2 >= 3]],
+    [relation R0(a1, a2)], [fact R0(1, "a")], ...), so that
+    [parse (render x) = x] is a meaningful property. *)
+
+open Whynot_relational
+
+val concept : Schema.t -> Whynot_concept.Ls.t -> string
+(** The [concept_of_string] grammar: conjuncts joined by [&]; attribute
+    names resolved through the schema (positions when unnamed). *)
+
+val cq_body : Cq.t -> string
+(** The rule-body rendering: comma-separated atoms then comparisons. *)
+
+val document : Schema.t -> Instance.t -> string
+(** A full document: [relation] declarations, [fd]/[ind] constraints
+    (positional attributes), [view] definitions, and one [fact] line per
+    tuple of every {e data} relation of the instance. *)

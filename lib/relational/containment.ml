@@ -10,10 +10,22 @@
    Moreover, instantiations that merge two variables inside one region are
    homomorphic images of the instantiation that keeps them distinct (the
    merge preserves atoms, constants and regions), and CQ matches transport
-   along such homomorphisms — so it suffices to give each variable its OWN
-   representative per region, distinct from every other variable's. This
-   keeps the per-variable candidate count at (#constants + #regions) instead
-   of (#constants + #regions × #variables). *)
+   along such homomorphisms — so for plain containment it suffices to give
+   each variable its OWN representative per region, distinct from every
+   other variable's. This keeps the per-variable candidate count at
+   (#constants + #regions) instead of (#constants + #regions × #variables).
+
+   That shortcut is only valid for properties closed under those merge
+   homomorphisms. A caller that post-filters the instantiations — e.g.
+   [Whynot_concept.Subsume_schema], which keeps only the FD-satisfying ones
+   — must see the merged patterns explicitly: the FD-satisfying witnesses
+   are often exactly the merges of an FD-violating distinct instantiation,
+   so filtering the distinct-reps enumeration can leave nothing to check
+   and turn a universally-quantified test vacuously true. [~merges:true]
+   additionally lets the j-th variable reuse any earlier variable's
+   representative within a region, which enumerates every equality pattern
+   (only the pattern matters: comparisons are variable-vs-constant, so all
+   values of one region are interchangeable). *)
 
 let reps_between a b n =
   let rec loop lo acc k =
@@ -65,7 +77,7 @@ let region_reps constants n =
       @ betweens cs
       @ if above = [] then [] else [ above ] )
 
-let canonical_instantiations q ~extra_constants =
+let canonical_instantiations ?(merges = false) q ~extra_constants =
   let qvars = Cq.vars q in
   let n = List.length qvars in
   let points, regions =
@@ -75,18 +87,21 @@ let canonical_instantiations q ~extra_constants =
     let itv = Cq.var_interval q v in
     let point_cands = List.filter (fun value -> Interval.mem value itv) points in
     let region_cands =
-      List.filter_map
+      List.concat_map
         (fun reps ->
-           (* The j-th variable's private representative in this region; if
-              the region has fewer than j+1 values, variables share the last
-              one (the region is too sparse for full distinctness, which
-              only happens in genuinely sparse corners of the domain). *)
-           let rep =
-             match List.nth_opt reps j with
-             | Some r -> r
-             | None -> List.nth reps (List.length reps - 1)
+           (* The j-th variable's private representative in this region is
+              [reps.(j)]; if the region has fewer than j+1 values, variables
+              share the last one (the region is too sparse for full
+              distinctness, which only happens in genuinely sparse corners
+              of the domain). With [merges], earlier variables' reps are
+              also offered, so every within-region equality pattern gets
+              enumerated. *)
+           let own = min j (List.length reps - 1) in
+           let cands =
+             if merges then List.filteri (fun i _ -> i <= own) reps
+             else [ List.nth reps own ]
            in
-           if Interval.mem rep itv then Some rep else None)
+           List.filter (fun rep -> Interval.mem rep itv) cands)
         regions
     in
     point_cands @ region_cands

@@ -23,10 +23,17 @@ val ucq_in_ucq : Ucq.t -> Ucq.t -> bool
 
 val equivalent : Ucq.t -> Ucq.t -> bool
 
-val canonical_instantiations : Cq.t -> extra_constants:Value_set.t
-  -> (Instance.t * Tuple.t) list
+val canonical_instantiations : ?merges:bool -> Cq.t
+  -> extra_constants:Value_set.t -> (Instance.t * Tuple.t) list
 (** The canonical instances used by the containment test (exposed for the
     test-suite and for {!Whynot_concept}): all instantiations of the query's
     variables by representative values consistent with its comparisons,
     paired with the corresponding head tuple. [extra_constants] join the
-    query's own constants when carving regions. *)
+    query's own constants when carving regions.
+
+    By default two variables falling in the same open region keep distinct
+    representatives — enough for plain containment, where merged
+    instantiations are homomorphic images of the distinct one. Callers that
+    post-filter the instantiations by a property not closed under those
+    merges (FD-satisfaction, notably) must pass [~merges:true], which also
+    enumerates every within-region equality pattern. *)

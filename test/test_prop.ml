@@ -1,0 +1,59 @@
+(* Differential property harness, wired into the alcotest suite.
+
+   Two test groups:
+
+   - "corpus" replays every committed (prop, seed, count) triple from
+     test/corpus/*.repro — once-found failures stay fixed for good;
+   - "properties" runs every registered property from a fixed seed
+     (override with PROPTEST_SEED=N), so the suite is deterministic and
+     any failure is reproducible with
+       proptest_runner --prop NAME --seed N --count C. *)
+
+module Props = Whynot_proptest.Props
+module Corpus = Whynot_proptest.Corpus
+
+let corpus_dir = "corpus"
+
+let seed =
+  match Option.bind (Sys.getenv_opt "PROPTEST_SEED") int_of_string_opt with
+  | Some n -> n
+  | None -> Props.default_seed
+
+let check_run = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let corpus_entries, corpus_errors = Corpus.load_dir corpus_dir
+
+let corpus_tests =
+  Alcotest.test_case "corpus files well-formed" `Quick (fun () ->
+      match corpus_errors with
+      | [] -> ()
+      | errors -> Alcotest.fail (String.concat "\n" errors))
+  :: List.map
+       (fun (e : Corpus.entry) ->
+         Alcotest.test_case
+           (Printf.sprintf "replay %s seed=%d count=%d" e.Corpus.prop
+              e.Corpus.seed e.Corpus.count)
+           `Quick
+           (fun () ->
+             match Props.find e.Corpus.prop with
+             | None ->
+               Alcotest.fail
+                 (Printf.sprintf "unknown property %S in corpus" e.Corpus.prop)
+             | Some p ->
+               check_run (Props.run ~count:e.Corpus.count ~seed:e.Corpus.seed p)))
+       corpus_entries
+
+let property_tests =
+  List.map
+    (fun (p : Props.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s seed=%d" p.Props.name seed)
+        `Quick
+        (fun () -> check_run (Props.run ~seed p)))
+    Props.all
+
+let () =
+  Alcotest.run "prop"
+    [ ("corpus", corpus_tests); ("properties", property_tests) ]

@@ -261,6 +261,70 @@ let test_values_of_string () =
   | Ok _ -> Alcotest.fail "missing comma accepted"
   | Error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Printer/parser fixpoints and error positions                       *)
+(* ------------------------------------------------------------------ *)
+
+module Surface = Whynot_proptest.Surface
+module PGen = Whynot_proptest.Gen
+
+(* A fixed generator state keeps these property runs deterministic inside
+   the suite; fresh seeds live in bin/proptest_runner. *)
+let fixed_rand () = Random.State.make [| 0xC0FFEE |]
+
+let concept_fixpoint =
+  QCheck2.Test.make ~name:"concept parse-print-parse fixpoint" ~count:200
+    QCheck2.Gen.(
+      PGen.schema PGen.No_constraints >>= fun s ->
+      PGen.concept s >>= fun c -> return (s, c))
+    (fun (s, c) ->
+       let doc = parse_ok (Surface.document s Instance.empty) in
+       let printed = Surface.concept s c in
+       match Parser.concept_of_string doc printed with
+       | Error msg -> QCheck2.Test.fail_reportf "%s: %s" printed msg
+       | Ok c' ->
+         (* Parsing the normal-form rendering is the identity, so a second
+            print-parse cycle is a fixpoint. *)
+         Whynot_concept.Ls.equal c c'
+         && Surface.concept s c' = printed)
+
+let document_fixpoint =
+  QCheck2.Test.make ~name:"document parse-print-parse fixpoint" ~count:100
+    QCheck2.Gen.(
+      PGen.schema_class >>= fun cls ->
+      PGen.schema cls >>= fun s ->
+      PGen.legal_instance s >>= fun inst -> return (s, inst))
+    (fun (s, inst) ->
+       let text = Surface.document s inst in
+       let doc = parse_ok text in
+       match Parser.schema_of doc with
+       | Error msg -> QCheck2.Test.fail_reportf "schema_of: %s" msg
+       | Ok s' ->
+         Surface.document s' (Parser.instance_of doc) = text)
+
+let check_error_line expected = function
+  | Ok _ -> Alcotest.failf "expected an error mentioning %S" expected
+  | Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S in %S" expected msg)
+      true (contains msg expected)
+
+let test_error_positions () =
+  (* Lexer errors point at the offending line... *)
+  check_error_line "line 3" (Lexer.tokenize "a b\nc d\n$");
+  check_error_line "line 1" (Lexer.tokenize "\"unterminated");
+  (* ...and so do parser errors, even mid-document. *)
+  check_error_line "line 2" (Parser.parse "relation R(a)\nrelation S(");
+  check_error_line "line 3"
+    (Parser.parse "relation R(a)\nfact R(1)\nview V(x) :=");
+  check_error_line "line 4"
+    (Parser.parse "relation R(a, b)\nfact R(1, 2)\n\nfd R: 1 ->")
+
 let test_retail_document () =
   match Parser.parse_file (data_path "retail.whynot") with
   | Error msg -> Alcotest.failf "retail document: %s" msg
@@ -304,5 +368,10 @@ let () =
           Alcotest.test_case "concepts" `Quick test_concept_expressions;
           Alcotest.test_case "value lists" `Quick test_values_of_string;
           Alcotest.test_case "datalog rules" `Quick test_rules;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
+          QCheck_alcotest.to_alcotest ~speed_level:`Quick ~rand:(fixed_rand ())
+            concept_fixpoint;
+          QCheck_alcotest.to_alcotest ~speed_level:`Quick ~rand:(fixed_rand ())
+            document_fixpoint;
         ] );
     ]
