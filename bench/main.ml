@@ -20,29 +20,49 @@ module Generate = Whynot_workload.Generate
 
 (* --- tiny measurement kit on top of bechamel --- *)
 
+module Obs = Whynot_obs.Obs
+
+(* [--quick] runs the CI smoke sweep: the same experiments with a fraction
+   of the measurement quota and the heaviest tail of each parameter sweep
+   dropped. The JSON report records which mode produced it. *)
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let sweep xs =
+  match xs with
+  | (_ :: _ :: _) when quick -> List.filteri (fun i _ -> i < List.length xs - 1) xs
+  | xs -> xs
+
 let ols =
   Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
 
 let cfg =
-  Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None
-    ~stabilize:false ()
+  if quick then
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ~kde:None
+      ~stabilize:false ()
+  else
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
 
+(* [None] when bechamel's OLS fit produced no estimate (or a non-finite
+   one): the caller logs a warning and the row stays out of the JSON
+   report, rather than silently serialising [NaN]. *)
 let measure_ns name f =
   let test = Test.make ~name (Staged.stage f) in
   match Test.elements test with
   | [ elt ] ->
     let bm = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
     (match Analyze.OLS.estimates (Analyze.one ols Toolkit.Instance.monotonic_clock bm) with
-     | Some (e :: _) -> e
-     | Some [] | None -> Float.nan)
-  | _ -> Float.nan
+     | Some (e :: _) when Float.is_finite e -> Some e
+     | Some _ | None -> None)
+  | _ -> None
 
-let pp_time ppf ns =
-  if Float.is_nan ns then Format.pp_print_string ppf "n/a"
-  else if ns < 1e3 then Format.fprintf ppf "%.0f ns" ns
-  else if ns < 1e6 then Format.fprintf ppf "%.1f us" (ns /. 1e3)
-  else if ns < 1e9 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
-  else Format.fprintf ppf "%.2f s" (ns /. 1e9)
+let pp_time ppf = function
+  | None -> Format.pp_print_string ppf "n/a"
+  | Some ns ->
+    if ns < 1e3 then Format.fprintf ppf "%.0f ns" ns
+    else if ns < 1e6 then Format.fprintf ppf "%.1f us" (ns /. 1e3)
+    else if ns < 1e9 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+    else Format.fprintf ppf "%.2f s" (ns /. 1e9)
 
 let header id title =
   Format.printf "@.============================================================@.";
@@ -51,9 +71,102 @@ let header id title =
 
 let row fmt = Format.printf fmt
 
-let timed id label f =
+(* --- the machine-readable report (BENCH_whynot.json) --- *)
+
+type bench_row = {
+  r_id : string;
+  r_label : string;
+  r_params : (string * float) list;
+  r_ns : float;
+  r_counters : (string * int) list;
+}
+
+let bench_rows : bench_row list ref = ref []
+
+(* Measure [f], then run it once more under an {!Whynot_obs.Obs} delta so
+   the row carries the per-call counter profile (cache hits, chase steps,
+   candidates explored, ...). Returns the estimate so experiments can
+   derive ratios (e.g. the MEMO speedup rows). *)
+let timed_ns ?(params = []) id label f =
   let ns = measure_ns (id ^ "/" ^ label) f in
-  row "  %-42s %a@." label pp_time ns
+  row "  %-42s %a@." label pp_time ns;
+  (match ns with
+   | None ->
+     Printf.eprintf
+       "bench: warning: no OLS estimate for %s/%s; row excluded from JSON\n%!"
+       id label
+   | Some r_ns ->
+     let (), r_counters =
+       Obs.delta (fun () -> ignore (Sys.opaque_identity (f ())))
+     in
+     bench_rows :=
+       { r_id = id; r_label = label; r_params = params; r_ns; r_counters }
+       :: !bench_rows);
+  ns
+
+let timed ?params id label f = ignore (timed_ns ?params id label f)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_number x =
+  (* JSON has no NaN/infinity; the row filter keeps them out of reach,
+     this is a belt-and-braces guard. *)
+  if not (Float.is_finite x) then "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let json_obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) v)
+         fields)
+  ^ "}"
+
+let write_report path =
+  let rows = List.rev !bench_rows in
+  let row_json r =
+    json_obj
+      [
+        ("id", Printf.sprintf "\"%s\"" (json_escape r.r_id));
+        ("label", Printf.sprintf "\"%s\"" (json_escape r.r_label));
+        ( "params",
+          json_obj (List.map (fun (k, v) -> (k, json_number v)) r.r_params) );
+        ("ns_per_op", json_number r.r_ns);
+        ( "counters",
+          json_obj (List.map (fun (k, v) -> (k, string_of_int v)) r.r_counters)
+        );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc
+    (Printf.sprintf
+       "{\n\
+        \"schema_version\": 1,\n\
+        \"suite\": \"whynot-bench\",\n\
+        \"quick\": %b,\n\
+        \"rows\": [\n\
+        %s\n\
+        ]\n\
+        }\n"
+       quick
+       (String.concat ",\n" (List.map row_json rows)));
+  close_out oc;
+  Format.printf "@.wrote %s (%d rows)@." path (List.length rows)
 
 (* ================================================================== *)
 (* EX3.4 / FIG1-3: hand-ontology explanations                          *)
@@ -183,9 +296,10 @@ let tab1 () =
        let schema = Generate.wide_schema ~positions in
        let c1 = Generate.random_selection_free_concept ~seed:1 schema ~conjuncts:3 () in
        let c2 = Generate.random_selection_free_concept ~seed:2 schema ~conjuncts:2 () in
-       timed "TAB1" (Printf.sprintf "none / positions=%d" positions) (fun () ->
+       timed ~params:[ ("positions", float_of_int positions) ] "TAB1"
+         (Printf.sprintf "none / positions=%d" positions) (fun () ->
            Whynot_concept.Subsume_schema.decide schema c1 c2))
-    [ 8; 16; 32; 64 ];
+    (sweep [ 8; 16; 32; 64 ]);
 
   row "-- FDs (PTIME row; canonical instantiations + FD filter) --@.";
   List.iter
@@ -193,9 +307,10 @@ let tab1 () =
        let schema = Generate.fd_schema ~positions:8 in
        let c1 = Generate.random_selection_concept ~seed:3 schema ~conjuncts () in
        let c2 = Generate.random_selection_concept ~seed:4 schema ~conjuncts:1 () in
-       timed "TAB1" (Printf.sprintf "FDs / lhs conjuncts=%d" conjuncts) (fun () ->
+       timed ~params:[ ("conjuncts", float_of_int conjuncts) ] "TAB1"
+         (Printf.sprintf "FDs / lhs conjuncts=%d" conjuncts) (fun () ->
            Whynot_concept.Subsume_schema.decide schema c1 c2))
-    [ 1; 2; 3 ];
+    (sweep [ 1; 2; 3 ]);
 
   row "-- INDs, selection-free (PTIME row; positional reachability) --@.";
   List.iter
@@ -205,9 +320,10 @@ let tab1 () =
        let c2 =
          Whynot_concept.Ls.proj ~rel:(Printf.sprintf "R%d" (n - 1)) ~attr:1 ()
        in
-       timed "TAB1" (Printf.sprintf "INDs / chain length=%d" n) (fun () ->
+       timed ~params:[ ("chain", float_of_int n) ] "TAB1"
+         (Printf.sprintf "INDs / chain length=%d" n) (fun () ->
            Whynot_concept.Subsume_schema.decide schema c1 c2))
-    [ 8; 32; 128 ];
+    (sweep [ 8; 32; 128 ]);
 
   row "-- UCQ views (NP/Pi2p row; unfolding + containment) --@.";
   List.iter
@@ -215,9 +331,10 @@ let tab1 () =
        let schema = Generate.ucq_view_schema ~n_disjuncts:d in
        let v = Whynot_concept.Ls.proj ~rel:"V" ~attr:1 () in
        let base = Whynot_concept.Ls.proj ~rel:"R0" ~attr:1 () in
-       timed "TAB1" (Printf.sprintf "UCQ views / disjuncts=%d" d) (fun () ->
+       timed ~params:[ ("disjuncts", float_of_int d) ] "TAB1"
+         (Printf.sprintf "UCQ views / disjuncts=%d" d) (fun () ->
            Whynot_concept.Subsume_schema.decide schema v base))
-    [ 2; 8; 32 ];
+    (sweep [ 2; 8; 32 ]);
 
   row "-- nested UCQ views (coNEXPTIME row; unfolding doubles per level) --@.";
   List.iter
@@ -227,9 +344,10 @@ let tab1 () =
          Whynot_concept.Ls.proj ~rel:(Printf.sprintf "V%d" depth) ~attr:1 ()
        in
        let base = Whynot_concept.Ls.proj ~rel:"R0" ~attr:1 () in
-       timed "TAB1" (Printf.sprintf "nested views / depth=%d" depth) (fun () ->
+       timed ~params:[ ("depth", float_of_int depth) ] "TAB1"
+         (Printf.sprintf "nested views / depth=%d" depth) (fun () ->
            Whynot_concept.Subsume_schema.decide schema v base))
-    [ 1; 2; 3; 4 ]
+    (sweep [ 1; 2; 3; 4 ])
 
 (* ================================================================== *)
 (* ALG1 / THM5.1: exhaustive search and existence                      *)
@@ -245,10 +363,11 @@ let alg1 () =
            ~density:0.4 ()
        in
        let g = Whynot_setcover.Reduction.build sc ~slots:2 in
-       timed "ALG1" (Printf.sprintf "all MGEs / concepts=%d" n_sets) (fun () ->
+       timed ~params:[ ("n_sets", float_of_int n_sets) ] "ALG1"
+         (Printf.sprintf "all MGEs / concepts=%d" n_sets) (fun () ->
            Exhaustive.all_mges g.Whynot_setcover.Reduction.ontology
              g.Whynot_setcover.Reduction.whynot))
-    [ 4; 8; 16 ];
+    (sweep [ 4; 8; 16 ]);
   row "-- query arity sweep (exponent of Theorem 5.2) --@.";
   List.iter
     (fun slots ->
@@ -257,10 +376,11 @@ let alg1 () =
            ~density:0.4 ()
        in
        let g = Whynot_setcover.Reduction.build sc ~slots in
-       timed "ALG1" (Printf.sprintf "all MGEs / arity=%d" slots) (fun () ->
+       timed ~params:[ ("arity", float_of_int slots) ] "ALG1"
+         (Printf.sprintf "all MGEs / arity=%d" slots) (fun () ->
            Exhaustive.all_mges g.Whynot_setcover.Reduction.ontology
              g.Whynot_setcover.Reduction.whynot))
-    [ 1; 2; 3 ];
+    (sweep [ 1; 2; 3 ]);
   row "-- D3 ablation: candidate pruning --@.";
   let sc =
     Whynot_setcover.Setcover.random ~seed:7 ~n_elements:8 ~n_sets:10
@@ -290,10 +410,11 @@ let existence () =
        let cover = Whynot_setcover.Setcover.exists_cover_of_size sc 3 in
        row "  n_sets=%-3d explanation? %-5b cover<=3? %-5b (must agree)@."
          n_sets exists cover;
-       timed "THM5.1" (Printf.sprintf "existence / sets=%d" n_sets) (fun () ->
+       timed ~params:[ ("n_sets", float_of_int n_sets) ] "THM5.1"
+         (Printf.sprintf "existence / sets=%d" n_sets) (fun () ->
            Exhaustive.exists_explanation g.Whynot_setcover.Reduction.ontology
              g.Whynot_setcover.Reduction.whynot))
-    [ 8; 16; 32 ]
+    (sweep [ 8; 16; 32 ])
 
 (* ================================================================== *)
 (* ALG2: incremental search                                            *)
@@ -306,9 +427,10 @@ let alg2 () =
        let gi = Generate.cities_like ~n_cities:n ~n_countries:(max 2 (n / 5))
            ~n_connections:(2 * n) () in
        let wn = Generate.cities_whynot gi in
-       timed "ALG2" (Printf.sprintf "one MGE / cities=%d" n) (fun () ->
+       timed ~params:[ ("cities", float_of_int n) ] "ALG2"
+         (Printf.sprintf "one MGE / cities=%d" n) (fun () ->
            Incremental.one_mge ~variant:Incremental.Selection_free ~shorten:false wn))
-    [ 20; 40; 80 ];
+    (sweep [ 20; 40; 80 ]);
   row "-- D4 ablation: constant-offer order --@.";
   let gi = Generate.cities_like ~n_cities:40 ~n_countries:8 ~n_connections:80 () in
   let wn = Generate.cities_whynot gi in
@@ -348,10 +470,11 @@ let alg2_sigma () =
   List.iter
     (fun rows ->
        let wn = make_wn rows in
-       timed "ALG2s" (Printf.sprintf "one MGE (sigma) / rows=%d" rows) (fun () ->
+       timed ~params:[ ("rows", float_of_int rows) ] "ALG2s"
+         (Printf.sprintf "one MGE (sigma) / rows=%d" rows) (fun () ->
            Incremental.one_mge ~variant:Incremental.With_selections
              ~shorten:false wn))
-    [ 6; 10; 14 ];
+    (sweep [ 6; 10; 14 ]);
   row "-- D2 ablation: lub antichain pruning --@.";
   let wn = make_wn 10 in
   let x =
@@ -389,11 +512,12 @@ let p4_2 () =
            Whynot_relational.Instance.empty
            (List.init n (fun k -> k))
        in
-       timed "P4.2" (Printf.sprintf "materialise O_I[K] / positions=%d" positions)
+       timed ~params:[ ("positions", float_of_int positions) ] "P4.2"
+         (Printf.sprintf "materialise O_I[K] / positions=%d" positions)
          (fun () ->
             Count.enumerate_selection_free inst
               (Value_set.of_list [ Value.int 0; Value.int 1 ])))
-    [ 4; 8; 12 ]
+    (sweep [ 4; 8; 12 ])
 
 (* ================================================================== *)
 (* P6.2 / P6.4: irredundancy and cardinality preference                *)
@@ -410,9 +534,10 @@ let p6_2 () =
                 Generate.random_selection_free_concept ~seed:k Cities.schema
                   ~conjuncts:1 ()))
        in
-       timed "P6.2" (Printf.sprintf "minimise / conjuncts<=%d" conjuncts)
+       timed ~params:[ ("conjuncts", float_of_int conjuncts) ] "P6.2"
+         (Printf.sprintf "minimise / conjuncts<=%d" conjuncts)
          (fun () -> Irredundant.minimise Cities.instance c))
-    [ 4; 8; 16 ]
+    (sweep [ 4; 8; 16 ])
 
 let p6_4 () =
   header "P6.4" "Proposition 6.4: card-maximal explanations, exact vs greedy";
@@ -450,11 +575,13 @@ let p6_4 () =
        let exact = Cardinality.maximal o wn and greedy = Cardinality.greedy o wn in
        row "  n_sets=%-3d exact degree=%-4d greedy degree=%-4d@."
          n_sets (deg exact) (deg greedy);
-       timed "P6.4" (Printf.sprintf "exact / sets=%d" n_sets) (fun () ->
+       timed ~params:[ ("n_sets", float_of_int n_sets) ] "P6.4"
+         (Printf.sprintf "exact / sets=%d" n_sets) (fun () ->
            Cardinality.maximal o wn);
-       timed "P6.4" (Printf.sprintf "greedy / sets=%d" n_sets) (fun () ->
+       timed ~params:[ ("n_sets", float_of_int n_sets) ] "P6.4"
+         (Printf.sprintf "greedy / sets=%d" n_sets) (fun () ->
            Cardinality.greedy o wn))
-    [ 6; 10; 14 ]
+    (sweep [ 6; 10; 14 ])
 
 (* ================================================================== *)
 (* D1: DL-LiteR reasoning                                              *)
@@ -468,7 +595,8 @@ let dllite () =
          Generate.random_tbox ~seed:10 ~n_atoms ~n_roles:(n_atoms / 4)
            ~n_axioms:(2 * n_atoms) ()
        in
-       timed "THM4.1" (Printf.sprintf "saturate / atoms=%d" n_atoms) (fun () ->
+       timed ~params:[ ("atoms", float_of_int n_atoms) ] "THM4.1"
+         (Printf.sprintf "saturate / atoms=%d" n_atoms) (fun () ->
            Whynot_dllite.Reasoner.saturate tb);
        let r = Whynot_dllite.Reasoner.saturate tb in
        let u = Whynot_dllite.Reasoner.universe r in
@@ -480,7 +608,7 @@ let dllite () =
          timed "THM4.1" (Printf.sprintf "on-demand query / atoms=%d" n_atoms)
            (fun () -> Whynot_dllite.Ondemand.subsumes tb b1 b2)
        | _ -> ())
-    [ 8; 32; 128 ]
+    (sweep [ 8; 32; 128 ])
 
 (* ================================================================== *)
 (* OBDA: induced ontology scaling                                      *)
@@ -494,12 +622,13 @@ let obda_scaling () =
          Generate.cities_like ~n_cities:n ~n_countries:(max 2 (n / 5))
            ~n_connections:(2 * n) ()
        in
-       timed "THM4.2" (Printf.sprintf "retrieve+prepare / cities=%d" n)
+       timed ~params:[ ("cities", float_of_int n) ] "THM4.2"
+         (Printf.sprintf "retrieve+prepare / cities=%d" n)
          (fun () ->
             let induced = Whynot_obda.Induced.prepare Cities.obda_spec inst in
             Whynot_obda.Induced.extension induced
               (Whynot_dllite.Dl.Atom "City")))
-    [ 20; 40; 80 ]
+    (sweep [ 20; 40; 80 ])
 
 (* ================================================================== *)
 (* Extensions: PerfectRef rewriting and the Datalog engine             *)
@@ -568,13 +697,82 @@ let datalog_bench () =
            Whynot_relational.Instance.empty
            (List.init n (fun k -> k))
        in
-       timed "DATALOG" (Printf.sprintf "transitive closure / chain=%d" n)
+       timed ~params:[ ("chain", float_of_int n) ] "DATALOG"
+         (Printf.sprintf "transitive closure / chain=%d" n)
          (fun () -> Whynot_datalog.Program.eval tc chain))
-    [ 8; 16; 32 ]
+    (sweep [ 8; 16; 32 ])
+
+(* ================================================================== *)
+(* MEMO: the memoised subsumption layer, cold vs warm                  *)
+(* ================================================================== *)
+
+let memo_bench () =
+  header "MEMO" "Memoised subsumption: cold vs warm Incremental Search";
+  (* Cold: every measured call starts from empty memo tables
+     ([Subsume_memo.clear] inside the thunk), so extensions, columns and
+     lubs are recomputed from scratch — the pre-memoisation behaviour.
+     Warm: the handles persist across calls, so the sweep exercises the
+     steady state the algorithms actually run in. *)
+  List.iter
+    (fun n ->
+       let gi =
+         Generate.cities_like ~n_cities:n ~n_countries:(max 2 (n / 5))
+           ~n_connections:(2 * n) ()
+       in
+       let wn = Generate.cities_whynot gi in
+       let run () =
+         Incremental.one_mge ~variant:Incremental.Selection_free
+           ~shorten:false wn
+       in
+       let cold =
+         timed_ns
+           ~params:[ ("cities", float_of_int n); ("cached", 0.) ]
+           "MEMO"
+           (Printf.sprintf "cold (uncached) / cities=%d" n)
+           (fun () ->
+              Whynot_concept.Subsume_memo.clear ();
+              run ())
+       in
+       let warm =
+         timed_ns
+           ~params:[ ("cities", float_of_int n); ("cached", 1.) ]
+           "MEMO"
+           (Printf.sprintf "warm (memoised) / cities=%d" n)
+           run
+       in
+       match (cold, warm) with
+       | Some c, Some w when w > 0. ->
+         row "  speedup (cold/warm) / cities=%-18d %.1fx@." n (c /. w)
+       | _ -> ())
+    (sweep [ 20; 40; 80 ]);
+  row "-- schema-level verdict caching --@.";
+  let big = Whynot_concept.Ls.proj ~rel:"BigCity" ~attr:1 () in
+  let tc_from = Whynot_concept.Ls.proj ~rel:"Train-Connections" ~attr:1 () in
+  let cold_schema =
+    timed_ns
+      ~params:[ ("cached", 0.) ]
+      "MEMO" "decide w.r.t. S, cold (uncached)"
+      (fun () ->
+         Whynot_concept.Subsume_memo.clear ();
+         let h = Whynot_concept.Subsume_memo.schema Cities.schema in
+         Whynot_concept.Subsume_memo.decide h big tc_from)
+  in
+  let warm_schema =
+    let h = Whynot_concept.Subsume_memo.schema Cities.schema in
+    timed_ns
+      ~params:[ ("cached", 1.) ]
+      "MEMO" "decide w.r.t. S, warm (memoised)"
+      (fun () -> Whynot_concept.Subsume_memo.decide h big tc_from)
+  in
+  match (cold_schema, warm_schema) with
+  | Some c, Some w when w > 0. ->
+    row "  speedup (cold/warm) schema decide          %.0fx@." (c /. w)
+  | _ -> ()
 
 let () =
   Format.printf "why-not explanations: benchmark harness@.";
   Format.printf "(experiment ids refer to DESIGN.md / EXPERIMENTS.md)@.";
+  if quick then Format.printf "(--quick: CI smoke sweep)@.";
   ex_3_4 ();
   ex_4_5 ();
   ex_4_9 ();
@@ -584,6 +782,7 @@ let () =
   existence ();
   alg2 ();
   alg2_sigma ();
+  memo_bench ();
   p4_2 ();
   p6_2 ();
   p6_4 ();
@@ -591,4 +790,5 @@ let () =
   obda_scaling ();
   rewrite_bench ();
   datalog_bench ();
+  write_report "BENCH_whynot.json";
   Format.printf "@.done.@."

@@ -28,6 +28,16 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"After the command, print the engine's observability \
+                 counters (subsumption calls vs cache hits, canonical \
+                 instantiations, chase steps, candidates explored, ...).")
+
+let dump_stats stats =
+  if stats then Format.printf "@.-- stats --@.%a" Whynot_obs.Obs.pp ()
+
 (* --- check --- *)
 
 let check_cmd =
@@ -98,7 +108,7 @@ let ontology_conv =
       ("schema", From_schema) ]
 
 let explain_cmd =
-  let run path choice selections all verbose =
+  let run path choice selections all verbose stats =
     setup_logs verbose;
     let doc = or_die (load path) in
     let wn = or_die (msg_of_string (Whynot_text.Parser.whynot_of doc)) in
@@ -111,41 +121,42 @@ let explain_cmd =
           mges
       else Format.printf "MGE: %a@." (Explanation.pp o) (List.hd mges)
     in
-    match choice with
-    | Hand ->
-      (match Whynot_text.Parser.hand_ontology_of doc with
-       | None -> or_die (Error (`Msg "no hand ontology in document (ext items)"))
-       | Some o -> print_finite_mges o)
-    | Obda ->
-      (match or_die (msg_of_string (Whynot_text.Parser.obda_spec_of doc)) with
-       | None -> or_die (Error (`Msg "no OBDA specification in document"))
-       | Some spec ->
-         let induced =
-           Whynot_obda.Induced.prepare spec wn.Whynot.instance
-         in
-         (match Whynot_obda.Induced.consistent induced with
-          | Ok () -> ()
-          | Error msg ->
-            Format.printf "warning: retrieved assertions inconsistent: %s@." msg);
-         print_finite_mges (Ontology.of_obda induced))
-    | From_instance ->
-      let variant =
-        if selections then Incremental.With_selections
-        else Incremental.Selection_free
-      in
-      let e = Incremental.one_mge ~variant wn in
-      let o = Ontology.of_instance wn.Whynot.instance in
-      Format.printf "MGE w.r.t. O_I: %a@." (Explanation.pp o) e
-    | From_schema ->
-      let schema =
-        or_die (msg_of_string (Whynot_text.Parser.schema_of doc))
-      in
-      (match Schema_mge.one_mge `Minimal schema wn with
-       | Some e ->
-         let o = Schema_mge.ontology `Minimal schema wn in
-         Format.printf "MGE w.r.t. O_S[K] (minimal fragment): %a@."
-           (Explanation.pp o) e
-       | None -> Format.printf "no explanation exists@.")
+    (match choice with
+     | Hand ->
+       (match Whynot_text.Parser.hand_ontology_of doc with
+        | None -> or_die (Error (`Msg "no hand ontology in document (ext items)"))
+        | Some o -> print_finite_mges o)
+     | Obda ->
+       (match or_die (msg_of_string (Whynot_text.Parser.obda_spec_of doc)) with
+        | None -> or_die (Error (`Msg "no OBDA specification in document"))
+        | Some spec ->
+          let induced =
+            Whynot_obda.Induced.prepare spec wn.Whynot.instance
+          in
+          (match Whynot_obda.Induced.consistent induced with
+           | Ok () -> ()
+           | Error msg ->
+             Format.printf "warning: retrieved assertions inconsistent: %s@." msg);
+          print_finite_mges (Ontology.of_obda induced))
+     | From_instance ->
+       let variant =
+         if selections then Incremental.With_selections
+         else Incremental.Selection_free
+       in
+       let e = Incremental.one_mge ~variant wn in
+       let o = Ontology.of_instance wn.Whynot.instance in
+       Format.printf "MGE w.r.t. O_I: %a@." (Explanation.pp o) e
+     | From_schema ->
+       let schema =
+         or_die (msg_of_string (Whynot_text.Parser.schema_of doc))
+       in
+       (match Schema_mge.one_mge `Minimal schema wn with
+        | Some e ->
+          let o = Schema_mge.ontology `Minimal schema wn in
+          Format.printf "MGE w.r.t. O_S[K] (minimal fragment): %a@."
+            (Explanation.pp o) e
+        | None -> Format.printf "no explanation exists@."));
+    dump_stats stats
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let choice =
@@ -170,7 +181,8 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Compute most-general explanation(s) for the document's why-not \
              question.")
-    Term.(const run $ path $ choice $ selections $ all $ verbose_arg)
+    Term.(const run $ path $ choice $ selections $ all $ verbose_arg
+          $ stats_arg)
 
 (* --- subsume --- *)
 
@@ -179,7 +191,7 @@ type wrt =
   | Wrt_schema
 
 let subsume_cmd =
-  let run path wrt c1_src c2_src verbose =
+  let run path wrt c1_src c2_src verbose stats =
     setup_logs verbose;
     let doc = or_die (load path) in
     let parse src =
@@ -189,14 +201,15 @@ let subsume_cmd =
     let schema = or_die (msg_of_string (Whynot_text.Parser.schema_of doc)) in
     let inst = Whynot_text.Parser.instance_of doc in
     let pp_c = Whynot_concept.Ls.pp ~schema () in
-    match wrt with
-    | Wrt_instance ->
-      Format.printf "%a <=I %a : %b@." pp_c c1 pp_c c2
-        (Whynot_concept.Subsume_inst.subsumes inst c1 c2)
-    | Wrt_schema ->
-      Format.printf "%a <=S %a : %a@." pp_c c1 pp_c c2
-        Whynot_concept.Subsume_schema.pp_verdict
-        (Whynot_concept.Subsume_schema.decide schema c1 c2)
+    (match wrt with
+     | Wrt_instance ->
+       Format.printf "%a <=I %a : %b@." pp_c c1 pp_c c2
+         (Whynot_concept.Subsume_inst.subsumes inst c1 c2)
+     | Wrt_schema ->
+       Format.printf "%a <=S %a : %a@." pp_c c1 pp_c c2
+         Whynot_concept.Subsume_schema.pp_verdict
+         (Whynot_concept.Subsume_schema.decide schema c1 c2));
+    dump_stats stats
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let c1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"CONCEPT1") in
@@ -213,12 +226,12 @@ let subsume_cmd =
     (Cmd.info "subsume"
        ~doc:"Decide concept subsumption, e.g. \
              'Cities.name[continent = \"Europe\"]' 'Cities.name'.")
-    Term.(const run $ path $ wrt $ c1 $ c2 $ verbose_arg)
+    Term.(const run $ path $ wrt $ c1 $ c2 $ verbose_arg $ stats_arg)
 
 (* --- why (the dual problem) --- *)
 
 let why_cmd =
-  let run path tuple_src selections =
+  let run path tuple_src selections stats =
     let doc = or_die (load path) in
     let witness =
       or_die (msg_of_string (Whynot_text.Parser.values_of_string tuple_src))
@@ -238,7 +251,8 @@ let why_cmd =
       let e = Why.one_mge ~variant why in
       let o = Ontology.of_instance inst in
       Format.printf "most-general WHY explanation w.r.t. O_I: %a@."
-        (Explanation.pp o) e
+        (Explanation.pp o) e;
+      dump_stats stats
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let tuple =
@@ -251,7 +265,7 @@ let why_cmd =
   Cmd.v
     (Cmd.info "why"
        ~doc:"Explain why a tuple IS an answer (the dual problem, §7).")
-    Term.(const run $ path $ tuple $ selections)
+    Term.(const run $ path $ tuple $ selections $ stats_arg)
 
 (* --- provenance --- *)
 

@@ -1,17 +1,23 @@
 
-let ext_of conjuncts inst =
+(* All extension evaluation goes through the per-instance memo handle: the
+   minimiser probes many conjunct subsets of the same concept, and every
+   subset's extension is an intersection of the same few conjunct
+   extensions, so the per-conjunct cache turns the quadratic probe loop
+   into set intersections over cached sets. *)
+
+let ext_of h conjuncts =
   List.fold_left
-    (fun acc c -> Semantics.ext_inter acc (Semantics.conjunct_ext c inst))
+    (fun acc c -> Semantics.ext_inter acc (Subsume_memo.conjunct_ext h c))
     Semantics.All conjuncts
 
 (* Drop redundant selection conditions inside one conjunct: greedily remove
    conditions while the conjunct's own extension is unchanged. *)
-let slim_conjunct inst conj =
+let slim_conjunct h conj =
   match conj with
   | Ls.Nominal _ -> conj
   | Ls.Proj { rel; attr; sels } ->
     let ext_with sels =
-      Semantics.conjunct_ext (Ls.Proj { rel; attr; sels }) inst
+      Subsume_memo.conjunct_ext h (Ls.Proj { rel; attr; sels })
     in
     let target = ext_with sels in
     let rec drop kept = function
@@ -24,24 +30,26 @@ let slim_conjunct inst conj =
     Ls.Proj { rel; attr; sels = drop [] sels }
 
 let minimise inst c =
-  let target = Semantics.extension c inst in
+  let h = Subsume_memo.inst inst in
+  let target = Subsume_memo.extension h c in
   let rec drop kept = function
     | [] -> List.rev kept
     | conj :: rest ->
       let without = List.rev_append kept rest in
-      if Semantics.ext_equal (ext_of without inst) target then drop kept rest
+      if Semantics.ext_equal (ext_of h without) target then drop kept rest
       else drop (conj :: kept) rest
   in
-  Ls.of_conjuncts (List.map (slim_conjunct inst) (drop [] (Ls.conjuncts c)))
+  Ls.of_conjuncts (List.map (slim_conjunct h) (drop [] (Ls.conjuncts c)))
 
 let is_irredundant inst c =
+  let h = Subsume_memo.inst inst in
   let conjuncts = Ls.conjuncts c in
-  let target = ext_of conjuncts inst in
+  let target = ext_of h conjuncts in
   let rec check before = function
     | [] -> true
     | conj :: rest ->
       let without = List.rev_append before rest in
-      (not (Semantics.ext_equal (ext_of without inst) target))
+      (not (Semantics.ext_equal (ext_of h without) target))
       && check (conj :: before) rest
   in
   check [] conjuncts

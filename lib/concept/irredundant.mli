@@ -12,3 +12,6 @@ val minimise : Instance.t -> Ls.t -> Ls.t
     Polynomial time; the result is irredundant and [≡_{O_I}] the input. *)
 
 val is_irredundant : Instance.t -> Ls.t -> bool
+(** Does dropping any single conjunct (or any single selection condition
+    inside one) change the extension over [I]? Holds of every
+    {!minimise} result. *)

@@ -14,7 +14,16 @@ type conjunct =
       sels : selection list;
     }
 
-type t = conjunct list
+(* Concepts are hash-consed: [of_conjuncts] interns the normal form, so
+   structurally equal concepts share one physical representation and a
+   unique integer [id]. The id is the memo key used throughout the
+   subsumption/extension caches (see {!Subsume_memo}); [equal] becomes an
+   integer comparison. The intern table is never pruned — concepts are
+   tiny and the live set per process is bounded by the workload. *)
+type t = {
+  id : int;
+  conjs : conjunct list;
+}
 
 (* Normalise a selection list: group per attribute, meet the intervals, and
    re-emit canonical conditions (at most two per attribute; a single [=] for
@@ -48,28 +57,54 @@ let normalise_conjunct = function
   | Nominal _ as c -> c
   | Proj p -> Proj { p with sels = normalise_sels p.sels }
 
+(* The intern table compares keys with [Stdlib.compare] (not [(=)]) so
+   that floating-point selection constants behave consistently with the
+   structural order used everywhere else. *)
+module Intern = Hashtbl.Make (struct
+    type t = conjunct list
+
+    let equal a b = Stdlib.compare a b = 0
+    let hash = Hashtbl.hash
+  end)
+
+let intern_table : t Intern.t = Intern.create 1024
+let next_id = ref 0
+let interned = Whynot_obs.Obs.counter "ls.interned" ~doc:"distinct hash-consed L_S concepts"
+
+let intern conjs =
+  match Intern.find_opt intern_table conjs with
+  | Some t -> t
+  | None ->
+    let t = { id = !next_id; conjs } in
+    Stdlib.incr next_id;
+    Whynot_obs.Obs.incr interned;
+    Intern.add intern_table conjs t;
+    t
+
 let of_conjuncts cs =
-  List.sort_uniq Stdlib.compare (List.map normalise_conjunct cs)
+  intern (List.sort_uniq Stdlib.compare (List.map normalise_conjunct cs))
 
-let top = []
-let nominal c = [ Nominal c ]
+let top = intern []
+let nominal c = intern [ Nominal c ]
 let proj ?(sels = []) ~rel ~attr () = of_conjuncts [ Proj { rel; attr; sels } ]
-let meet c1 c2 = of_conjuncts (c1 @ c2)
-let meet_all cs = of_conjuncts (List.concat cs)
-let conjuncts t = t
+let meet c1 c2 = of_conjuncts (c1.conjs @ c2.conjs)
+let meet_all cs = of_conjuncts (List.concat_map (fun c -> c.conjs) cs)
+let conjuncts t = t.conjs
+let id t = t.id
 
-let is_top t = t = []
+let is_top t = t.conjs = []
 
 let is_selection_free t =
   List.for_all
     (function Nominal _ -> true | Proj { sels; _ } -> sels = [])
-    t
+    t.conjs
 
-let is_intersection_free t = List.length t <= 1
+let is_intersection_free t = List.length t.conjs <= 1
 
 let is_minimal t = is_intersection_free t && is_selection_free t
 
-let has_nominal t = List.exists (function Nominal _ -> true | Proj _ -> false) t
+let has_nominal t =
+  List.exists (function Nominal _ -> true | Proj _ -> false) t.conjs
 
 let constants t =
   List.fold_left
@@ -78,17 +113,18 @@ let constants t =
        | Nominal v -> Value_set.add v acc
        | Proj { sels; _ } ->
          List.fold_left (fun acc s -> Value_set.add s.value acc) acc sels)
-    Value_set.empty t
+    Value_set.empty t.conjs
 
 let relations t =
   List.sort_uniq String.compare
     (List.filter_map
        (function Nominal _ -> None | Proj { rel; _ } -> Some rel)
-       t)
+       t.conjs)
 
 let size t =
-  if t = [] then 1 (* top *)
-  else
+  match t.conjs with
+  | [] -> 1 (* top *)
+  | cs ->
     List.fold_left
       (fun acc c ->
          acc
@@ -97,11 +133,14 @@ let size t =
             | Proj { sels; _ } ->
               (* pi, attribute, relation + 3 tokens per condition. *)
               3 + (3 * List.length sels)))
-      (List.length t - 1) (* ⊓ symbols *)
-      t
+      (List.length cs - 1) (* ⊓ symbols *)
+      cs
 
-let compare = Stdlib.compare
-let equal t1 t2 = compare t1 t2 = 0
+(* Interning makes [id] equality coincide with structural equality of the
+   normal forms; [compare] keeps the pre-hash-consing structural order so
+   sorted outputs stay stable. *)
+let compare t1 t2 = if t1.id = t2.id then 0 else Stdlib.compare t1.conjs t2.conjs
+let equal t1 t2 = t1.id = t2.id
 
 let attr_label schema rel attr =
   match schema with
@@ -129,7 +168,7 @@ let pp_conjunct schema ppf = function
       sels rel
 
 let pp ?schema () ppf t =
-  match t with
+  match t.conjs with
   | [] -> Format.pp_print_string ppf "top"
   | cs ->
     Format.pp_print_list
@@ -150,7 +189,7 @@ let pp_sql_conjunct schema ppf = function
       sels
 
 let pp_sql ?schema () ppf t =
-  match t with
+  match t.conjs with
   | [] -> Format.pp_print_string ppf "anything"
   | cs ->
     Format.pp_print_list

@@ -28,7 +28,16 @@ type conjunct =
     }
 
 type t
-(** A concept in normal form. *)
+(** A concept in normal form. Values are hash-consed: structurally equal
+    concepts share one physical representation and one {!id}, so {!equal}
+    is an integer comparison and ids serve as memo-table keys (see
+    {!Subsume_memo}). *)
+
+(** {2 Smart constructors}
+
+    The only way to build concepts; each normalises (sorts and
+    deduplicates conjuncts and selections, flattens meets, absorbs
+    [top]) and interns the result in the hash-cons table. *)
 
 val top : t
 val nominal : Value.t -> t
@@ -58,8 +67,17 @@ val size : t -> int
 (** The length measure of §6: the number of symbols needed to write the
     concept out (a token count). *)
 
+val id : t -> int
+(** The hash-consed identity: [id c1 = id c2] iff the concepts are
+    structurally equal (same normal form). Ids are unique within a
+    process run and are {e not} stable across runs — use them as
+    in-memory cache keys only, never persist them. *)
+
 val compare : t -> t -> int
+(** Structural order on normal forms (with an [id]-equality fast path). *)
+
 val equal : t -> t -> bool
+(** Constant time, by {!id}. *)
 
 val pp : ?schema:Schema.t -> unit -> Format.formatter -> t -> unit
 (** Mathematical rendering, e.g.

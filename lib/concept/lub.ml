@@ -1,32 +1,30 @@
 open Whynot_relational
 
-let positions_of_instance inst =
-  List.concat_map
-    (fun name ->
-       match Instance.relation inst name with
-       | None -> []
-       | Some r -> List.init (Relation.arity r) (fun i -> (name, i + 1)))
-    (Instance.relation_names inst)
-
 let nominal_conjuncts x =
   match Value_set.elements x with
   | [ c ] -> [ Ls.Nominal c ]
   | _ -> []
 
+(* Memo tags for the lub caches of an instance handle (see
+   {!Subsume_memo.memo_lub}): the variants range over different concept
+   languages, so they must not share entries. *)
+let tag_selection_free = 0
+let tag_sigma_pruned = 1
+let tag_sigma_unpruned = 2
+
 let lub inst x =
   if Value_set.is_empty x then invalid_arg "Lub.lub: empty constant set";
-  let projections =
-    List.filter_map
-      (fun (rel, attr) ->
-         match Instance.relation inst rel with
-         | None -> None
-         | Some r ->
-           if Value_set.subset x (Relation.column attr r) then
-             Some (Ls.Proj { rel; attr; sels = [] })
-           else None)
-      (positions_of_instance inst)
-  in
-  Ls.of_conjuncts (nominal_conjuncts x @ projections)
+  let h = Subsume_memo.inst inst in
+  Subsume_memo.memo_lub h ~tag:tag_selection_free x (fun () ->
+      let projections =
+        List.filter_map
+          (fun (rel, attr) ->
+             if Value_set.subset x (Subsume_memo.column h ~rel ~attr) then
+               Some (Ls.Proj { rel; attr; sels = [] })
+             else None)
+          (Subsume_memo.positions h)
+      in
+      Ls.of_conjuncts (nominal_conjuncts x @ projections))
 
 (* --- with selections --- *)
 
@@ -63,7 +61,7 @@ let sels_of_intervals per_attr =
     per_attr
 
 let conjunct_ext_set inst c =
-  match Semantics.conjunct_ext c inst with
+  match Subsume_memo.conjunct_ext (Subsume_memo.inst inst) c with
   | Semantics.All -> assert false (* Proj/Nominal extensions are finite *)
   | Semantics.Fin s -> s
 
@@ -148,11 +146,15 @@ let atomic_selection_candidates ?(prune = true) inst ~rel ~attr x =
       in
       List.map fst deduped
 
-let lub_sigma ?prune inst x =
+let lub_sigma ?(prune = true) inst x =
   if Value_set.is_empty x then invalid_arg "Lub.lub_sigma: empty constant set";
-  let candidates =
-    List.concat_map
-      (fun (rel, attr) -> atomic_selection_candidates ?prune inst ~rel ~attr x)
-      (positions_of_instance inst)
-  in
-  Ls.of_conjuncts (nominal_conjuncts x @ candidates)
+  let h = Subsume_memo.inst inst in
+  let tag = if prune then tag_sigma_pruned else tag_sigma_unpruned in
+  Subsume_memo.memo_lub h ~tag x (fun () ->
+      let candidates =
+        List.concat_map
+          (fun (rel, attr) ->
+             atomic_selection_candidates ~prune inst ~rel ~attr x)
+          (Subsume_memo.positions h)
+      in
+      Ls.of_conjuncts (nominal_conjuncts x @ candidates))

@@ -1,5 +1,7 @@
-let subsumes inst c1 c2 =
+let naive_subsumes inst c1 c2 =
   Semantics.ext_subset (Semantics.extension c1 inst) (Semantics.extension c2 inst)
+
+let subsumes inst c1 c2 = Subsume_memo.subsumes (Subsume_memo.inst inst) c1 c2
 
 let strictly_subsumed inst c1 c2 = subsumes inst c1 c2 && not (subsumes inst c2 c1)
 

@@ -5,9 +5,18 @@
 open Whynot_relational
 
 val subsumes : Instance.t -> Ls.t -> Ls.t -> bool
-(** [subsumes inst c1 c2] iff [[[c1]]^I ⊆ [[c2]]^I]. *)
+(** [subsumes inst c1 c2] iff [[[c1]]^I ⊆ [[c2]]^I]. Answered through the
+    {!Subsume_memo} layer: verdicts and extensions are cached per
+    (physical) instance, keyed on hash-consed concept ids. *)
+
+val naive_subsumes : Instance.t -> Ls.t -> Ls.t -> bool
+(** The direct, cache-free decision — recomputes both extensions on every
+    call. Semantically identical to {!subsumes}; kept as the independent
+    oracle for the [memo/subsume-inst-cached-vs-naive] differential
+    property. *)
 
 val strictly_subsumed : Instance.t -> Ls.t -> Ls.t -> bool
 (** [strictly_subsumed inst c1 c2] iff [c1 ⊑_I c2] and not [c2 ⊑_I c1]. *)
 
 val equivalent : Instance.t -> Ls.t -> Ls.t -> bool
+(** Mutual [⊑_I] subsumption. *)

@@ -1,0 +1,269 @@
+open Whynot_relational
+module Obs = Whynot_obs.Obs
+
+let c_inst_calls =
+  Obs.counter "subsume.inst.calls" ~doc:"instance-level subsumption queries"
+
+let c_inst_hits =
+  Obs.counter "subsume.inst.hits" ~doc:"instance-level verdicts answered from cache"
+
+let c_ext_calls =
+  Obs.counter "memo.ext.calls" ~doc:"concept extension requests"
+
+let c_ext_hits =
+  Obs.counter "memo.ext.hits" ~doc:"concept extensions answered from cache"
+
+let c_schema_calls =
+  Obs.counter "subsume.schema.calls" ~doc:"schema-level subsumption queries"
+
+let c_schema_hits =
+  Obs.counter "subsume.schema.hits" ~doc:"schema-level verdicts answered from cache"
+
+let c_translate_calls =
+  Obs.counter "memo.translate.calls" ~doc:"concept-to-UCQ translation requests"
+
+let c_translate_hits =
+  Obs.counter "memo.translate.hits" ~doc:"translations answered from cache"
+
+let c_lub_calls = Obs.counter "memo.lub.calls" ~doc:"lub requests"
+let c_lub_hits = Obs.counter "memo.lub.hits" ~doc:"lubs answered from cache"
+
+let c_handles_inst =
+  Obs.counter "memo.handles.instance" ~doc:"instance memo handles created"
+
+let c_handles_schema =
+  Obs.counter "memo.handles.schema" ~doc:"schema memo handles created"
+
+let c_flushes =
+  Obs.counter "memo.flushes" ~doc:"registry flushes (cap reached or clear)"
+
+(* --- key modules --- *)
+
+module Conj_tbl = Hashtbl.Make (struct
+    type t = Ls.conjunct
+
+    let equal a b = Stdlib.compare a b = 0
+    let hash = Hashtbl.hash
+  end)
+
+module Pair_tbl = Hashtbl.Make (struct
+    type t = int * int
+
+    let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+    let hash (a, b) = (a * 65599) + b
+  end)
+
+module Int_tbl = Hashtbl.Make (Int)
+
+module Lub_tbl = Hashtbl.Make (struct
+    type t = int * Value.t list
+
+    let equal (t1, vs1) (t2, vs2) = t1 = t2 && Stdlib.compare vs1 vs2 = 0
+    let hash = Hashtbl.hash
+  end)
+
+(* --- per-instance handles --- *)
+
+type inst = {
+  instance : Instance.t;
+  conj_exts : Semantics.ext Conj_tbl.t;
+  exts : Semantics.ext Int_tbl.t;
+  verdicts : bool Pair_tbl.t;
+  columns : (string * int, Value_set.t) Hashtbl.t;
+  mutable positions : (string * int) list option;
+  lubs : Ls.t Lub_tbl.t;
+}
+
+type schema_handle = {
+  sschema : Schema.t;
+  cls : Subsume_schema.constraint_class;
+  sverdicts : Subsume_schema.verdict Pair_tbl.t;
+  ucqs : Ucq.t Int_tbl.t;
+}
+
+(* Handles are interned per *physical* instance/schema value: the
+   algorithms thread one instance value through a whole run, so physical
+   identity is exactly the lifetime we want to cache for, and it can never
+   confuse two structurally equal but semantically distinct runs. The
+   registries are capped; past the cap they are flushed wholesale (live
+   handles captured in closures keep working, they just stop being
+   shared), which bounds memory under workloads that churn through many
+   instances (the property-based tests generate thousands). *)
+
+module Phys (T : sig type t end) = Hashtbl.Make (struct
+    type t = T.t
+
+    let equal = ( == )
+    let hash = Hashtbl.hash
+  end)
+
+module Inst_reg = Phys (struct type t = Instance.t end)
+module Schema_reg = Phys (struct type t = Schema.t end)
+
+let max_handles = 64
+let inst_registry : inst Inst_reg.t = Inst_reg.create 64
+let schema_registry : schema_handle Schema_reg.t = Schema_reg.create 16
+
+let clear () =
+  Obs.incr c_flushes;
+  Inst_reg.reset inst_registry;
+  Schema_reg.reset schema_registry
+
+let inst instance =
+  match Inst_reg.find_opt inst_registry instance with
+  | Some h -> h
+  | None ->
+    if Inst_reg.length inst_registry >= max_handles then begin
+      Obs.incr c_flushes;
+      Inst_reg.reset inst_registry
+    end;
+    let h =
+      {
+        instance;
+        conj_exts = Conj_tbl.create 64;
+        exts = Int_tbl.create 64;
+        verdicts = Pair_tbl.create 64;
+        columns = Hashtbl.create 16;
+        positions = None;
+        lubs = Lub_tbl.create 64;
+      }
+    in
+    Obs.incr c_handles_inst;
+    Inst_reg.add inst_registry instance h;
+    h
+
+let instance h = h.instance
+
+let conjunct_ext h conj =
+  match Conj_tbl.find_opt h.conj_exts conj with
+  | Some e -> e
+  | None ->
+    let e = Semantics.conjunct_ext conj h.instance in
+    Conj_tbl.add h.conj_exts conj e;
+    e
+
+let extension h c =
+  Obs.incr c_ext_calls;
+  let key = Ls.id c in
+  match Int_tbl.find_opt h.exts key with
+  | Some e ->
+    Obs.incr c_ext_hits;
+    e
+  | None ->
+    let e =
+      List.fold_left
+        (fun acc conj -> Semantics.ext_inter acc (conjunct_ext h conj))
+        Semantics.All (Ls.conjuncts c)
+    in
+    Int_tbl.add h.exts key e;
+    e
+
+let mem h v c = Semantics.ext_mem v (extension h c)
+
+let subsumes h c1 c2 =
+  Obs.incr c_inst_calls;
+  let key = (Ls.id c1, Ls.id c2) in
+  match Pair_tbl.find_opt h.verdicts key with
+  | Some r ->
+    Obs.incr c_inst_hits;
+    r
+  | None ->
+    let r = Semantics.ext_subset (extension h c1) (extension h c2) in
+    Pair_tbl.add h.verdicts key r;
+    r
+
+let positions h =
+  match h.positions with
+  | Some ps -> ps
+  | None ->
+    let ps =
+      List.concat_map
+        (fun name ->
+           match Instance.relation h.instance name with
+           | None -> []
+           | Some r -> List.init (Relation.arity r) (fun i -> (name, i + 1)))
+        (Instance.relation_names h.instance)
+    in
+    h.positions <- Some ps;
+    ps
+
+let column h ~rel ~attr =
+  match Hashtbl.find_opt h.columns (rel, attr) with
+  | Some s -> s
+  | None ->
+    let s =
+      match Instance.relation h.instance rel with
+      | None -> Value_set.empty
+      | Some r -> Relation.column attr r
+    in
+    Hashtbl.add h.columns (rel, attr) s;
+    s
+
+let memo_lub h ~tag x compute =
+  Obs.incr c_lub_calls;
+  let key = (tag, Value_set.elements x) in
+  match Lub_tbl.find_opt h.lubs key with
+  | Some c ->
+    Obs.incr c_lub_hits;
+    c
+  | None ->
+    let c = compute () in
+    Lub_tbl.add h.lubs key c;
+    c
+
+(* --- per-schema handles --- *)
+
+type schema = schema_handle
+
+let schema sschema =
+  match Schema_reg.find_opt schema_registry sschema with
+  | Some h -> h
+  | None ->
+    if Schema_reg.length schema_registry >= max_handles then begin
+      Obs.incr c_flushes;
+      Schema_reg.reset schema_registry
+    end;
+    let h =
+      {
+        sschema;
+        cls = Subsume_schema.classify sschema;
+        sverdicts = Pair_tbl.create 64;
+        ucqs = Int_tbl.create 64;
+      }
+    in
+    Obs.incr c_handles_schema;
+    Schema_reg.add schema_registry sschema h;
+    h
+
+let schema_of h = h.sschema
+let constraint_class h = h.cls
+
+let translate h c =
+  Obs.incr c_translate_calls;
+  let key = Ls.id c in
+  match Int_tbl.find_opt h.ucqs key with
+  | Some u ->
+    Obs.incr c_translate_hits;
+    u
+  | None ->
+    let u = To_query.ucq h.sschema c in
+    Int_tbl.add h.ucqs key u;
+    u
+
+let decide ?chase_depth h c1 c2 =
+  Obs.incr c_schema_calls;
+  let key = (Ls.id c1, Ls.id c2) in
+  match Pair_tbl.find_opt h.sverdicts key with
+  | Some v ->
+    Obs.incr c_schema_hits;
+    v
+  | None ->
+    let v =
+      Subsume_schema.decide ?chase_depth ~translate:(translate h) h.sschema c1
+        c2
+    in
+    Pair_tbl.add h.sverdicts key v;
+    v
+
+let schema_subsumes ?chase_depth h c1 c2 =
+  decide ?chase_depth h c1 c2 = Subsume_schema.Subsumed

@@ -1,0 +1,103 @@
+(** The memoised subsumption and extension layer.
+
+    The MGE algorithms (Algorithms 1 and 2), the irredundancy minimiser
+    and the lub computations re-decide subsumption and re-evaluate concept
+    extensions for heavily overlapping concept pairs; the Table-1 deciders
+    behind [⊑_S] are the most expensive calls in the system. This module
+    puts a memo table in front of both {!Subsume_inst} ([⊑_I]) and
+    {!Subsume_schema} ([⊑_S]) so each (left, right, constraint-class)
+    verdict is decided once per run, keyed on the hash-consed concept ids
+    of {!Ls.id}.
+
+    Caches live in {e handles}, interned per physical instance or schema
+    value: the algorithms thread one instance value through a run, so
+    handle lookup is a hash-table probe and the caches have exactly the
+    lifetime of the data they describe. Two structurally equal schemas
+    with different physical identity get independent handles — in
+    particular a schema whose constraint set differs can never see stale
+    verdicts (cross-checked by the memo unit tests and the
+    [memo/*] differential properties). Handle registries are capped and
+    flushed wholesale past the cap, bounding memory on instance-churning
+    workloads.
+
+    All cache traffic is counted through {!Whynot_obs.Obs}
+    ([subsume.inst.calls]/[subsume.inst.hits],
+    [subsume.schema.calls]/[subsume.schema.hits], [memo.ext.*],
+    [memo.translate.*], [memo.lub.*]); the benchmark harness records the
+    counters into [BENCH_whynot.json], and [whynot_cli --stats] prints
+    them. *)
+
+open Whynot_relational
+
+(** {1 Instance-level caching ([⊑_I], extensions, lubs)} *)
+
+type inst
+(** A memo handle for one (physical) instance. *)
+
+val inst : Instance.t -> inst
+(** The handle for this instance — interned, so repeated calls with the
+    same instance value share one cache. *)
+
+val instance : inst -> Instance.t
+(** The instance the handle was built from. *)
+
+val extension : inst -> Ls.t -> Semantics.ext
+(** [[C]]^I, memoised per {!Ls.id} with a shared per-conjunct cache (the
+    irredundancy minimiser probes many conjunct subsets of one concept). *)
+
+val conjunct_ext : inst -> Ls.conjunct -> Semantics.ext
+(** The extension of a single atomic conjunct, memoised structurally —
+    the unit the irredundancy minimiser and [lub_sigma] recombine. *)
+
+val mem : inst -> Value.t -> Ls.t -> bool
+(** Membership via the cached extension. *)
+
+val subsumes : inst -> Ls.t -> Ls.t -> bool
+(** [C1 ⊑_I C2], memoised on [(Ls.id C1, Ls.id C2)]. *)
+
+val positions : inst -> (string * int) list
+(** All (relation, attribute) positions of the instance, computed once. *)
+
+val column : inst -> rel:string -> attr:int -> Value_set.t
+(** The value set of one column, memoised — the inner loop of {!Lub.lub}. *)
+
+val memo_lub : inst -> tag:int -> Value_set.t -> (unit -> Ls.t) -> Ls.t
+(** Compute-through cache for lub results keyed on [(tag, elements X)];
+    [tag] separates lub variants (selection-free / with selections /
+    unpruned) that share a handle. *)
+
+(** {1 Schema-level caching ([⊑_S])} *)
+
+type schema
+(** A memo handle for one (physical) schema. *)
+
+val schema : Schema.t -> schema
+(** The handle for this schema — interned like {!inst}. *)
+
+val schema_of : schema -> Schema.t
+(** The schema the handle was built from. *)
+
+val constraint_class : schema -> Subsume_schema.constraint_class
+(** The Table-1 class, classified once per handle; every cached verdict
+    of the handle was decided under this class. *)
+
+val translate : schema -> Ls.t -> Ucq.t
+(** Memoised {!To_query.ucq} (per {!Ls.id}); also passed into
+    {!Subsume_schema.decide} as its [translate] hook on cache misses. *)
+
+val decide :
+  ?chase_depth:int -> schema -> Ls.t -> Ls.t -> Subsume_schema.verdict
+(** Memoised {!Subsume_schema.decide}. [chase_depth] only influences the
+    first decision of a pair; callers that need a different depth for an
+    already-cached pair must use the uncached decider directly. *)
+
+val schema_subsumes : ?chase_depth:int -> schema -> Ls.t -> Ls.t -> bool
+(** [decide = Subsumed]. *)
+
+(** {1 Lifecycle} *)
+
+val clear : unit -> unit
+(** Flush both handle registries: the next [inst]/[schema] call starts
+    cold. Existing handles captured in closures keep working but are no
+    longer shared. Used by the benchmark harness to measure the uncached
+    path, and by tests. *)

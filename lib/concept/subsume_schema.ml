@@ -3,6 +3,21 @@ open Whynot_relational
 let src = Logs.Src.create "whynot.subsume" ~doc:"schema-level concept subsumption"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Whynot_obs.Obs
+
+let c_canonical =
+  Obs.counter "subsume.schema.canonical_insts"
+    ~doc:"canonical instantiations enumerated"
+
+let c_chase_steps =
+  Obs.counter "subsume.schema.chase_steps" ~doc:"IND chase rounds applied"
+
+let c_countermodels =
+  Obs.counter "subsume.schema.countermodel_attempts"
+    ~doc:"bounded counter-model searches"
+
+let c_decides =
+  Obs.counter "subsume.schema.decides" ~doc:"uncached decide invocations"
 
 type verdict =
   | Subsumed
@@ -42,11 +57,10 @@ let distinct_nominals c =
           | Ls.Proj _ -> acc)
        Value_set.empty (Ls.conjuncts c))
 
-let concept_unsat schema c =
+let concept_unsat ~translate c =
   distinct_nominals c >= 2
   || (not (To_query.is_pure c))
-     && List.for_all Cq.is_unsatisfiable_syntactic
-          (To_query.ucq schema c).Ucq.disjuncts
+     && List.for_all Cq.is_unsatisfiable_syntactic (translate c).Ucq.disjuncts
 
 (* --- sound rule (iii): IND positional reachability --- *)
 
@@ -69,12 +83,18 @@ let ind_reach_rule schema c1 rhs_rel rhs_attr =
    [R(x,y1), R(x,y2), y2 > 2] under the FD R:1→2 are exactly the merges
    y1 = y2, and the distinct-representatives enumeration alone would be
    filtered down to nothing, leaving the containment check vacuously true. *)
-let canonical_candidates ?(fd_filter = false) schema c1 ~extra_constants =
-  let u1 = To_query.ucq schema c1 in
+let canonical_candidates ?(fd_filter = false) ~translate schema c1
+    ~extra_constants =
+  let u1 = translate c1 in
   List.concat_map
     (fun d ->
        if Cq.is_unsatisfiable_syntactic d then []
        else
+         let instantiations =
+           Containment.canonical_instantiations ~merges:fd_filter d
+             ~extra_constants
+         in
+         Obs.add c_canonical (List.length instantiations);
          List.filter_map
            (fun (inst, head) ->
               let keep =
@@ -87,24 +107,25 @@ let canonical_candidates ?(fd_filter = false) schema c1 ~extra_constants =
                      (Schema.fds schema)
               in
               if keep then Some (inst, Tuple.get head 1) else None)
-           (Containment.canonical_instantiations ~merges:fd_filter d
-              ~extra_constants))
+           instantiations)
     u1.Ucq.disjuncts
 
 (* Complete subsumption check for the classes without INDs: every canonical
    (FD-satisfying, when FDs are present) instantiation's head must be an
    answer of the right-hand side. *)
-let canonical_containment ~fd_filter schema c1 c2_conjunct_ucq rhs_constants =
+let canonical_containment ~fd_filter ~translate schema c1 c2_conjunct_ucq
+    rhs_constants =
   List.for_all
     (fun (inst, head) ->
        Relation.mem (Tuple.of_list [ head ]) (Ucq.eval c2_conjunct_ucq inst))
-    (canonical_candidates ~fd_filter schema c1 ~extra_constants:rhs_constants)
+    (canonical_candidates ~fd_filter ~translate schema c1
+       ~extra_constants:rhs_constants)
 
 (* [c1]'s extension is within [{v}] in every instance. *)
-let always_within_singleton ~fd_filter schema c1 v =
+let always_within_singleton ~fd_filter ~translate schema c1 v =
   List.for_all
     (fun (_, head) -> Value.equal head v)
-    (canonical_candidates ~fd_filter schema c1
+    (canonical_candidates ~fd_filter ~translate schema c1
        ~extra_constants:(Value_set.singleton v))
 
 (* --- bounded counter-model search --- *)
@@ -135,7 +156,8 @@ let chase_round schema inst =
       in
       if missing = [] then Some (inst, changed)
       else if not (List.mem ind.Ind.rhs_rel data) then None
-      else
+      else begin
+        Obs.incr c_chase_steps;
         let arity = Option.get (Schema.arity schema ind.Ind.rhs_rel) in
         let inst =
           List.fold_left
@@ -153,6 +175,7 @@ let chase_round schema inst =
             inst missing
         in
         Some (inst, true)
+      end
   in
   List.fold_left repair (Some (inst, false)) (Schema.inds schema)
 
@@ -175,10 +198,11 @@ let chase_to_legal_instance ?(depth = 4) schema inst =
      | Error _ -> None
      | Ok () -> Some full)
 
-let refute_with_counter_model ~chase_depth schema c1 c2 =
+let refute_with_counter_model ~chase_depth ~translate schema c1 c2 =
+  Obs.incr c_countermodels;
   let extra_constants = Ls.constants c2 in
   let candidates =
-    canonical_candidates ~fd_filter:false schema c1 ~extra_constants
+    canonical_candidates ~fd_filter:false ~translate schema c1 ~extra_constants
   in
   Log.debug (fun m ->
       m "counter-model search: %d canonical candidate(s) for %s vs %s"
@@ -202,24 +226,25 @@ let refute_with_counter_model ~chase_depth schema c1 c2 =
 
 let conjunct_concept conj = Ls.of_conjuncts [ conj ]
 
-let decide_conjunct ~cls schema c1 conj =
+let decide_conjunct ~cls ~translate schema c1 conj =
   let sound_containment () =
     match conj with
     | Ls.Nominal v ->
       List.mem (Ls.Nominal v) (Ls.conjuncts c1)
       || (not (To_query.is_pure c1))
-         && always_within_singleton ~fd_filter:(cls = Fds_only) schema c1 v
+         && always_within_singleton ~fd_filter:(cls = Fds_only) ~translate
+              schema c1 v
     | Ls.Proj _ ->
       if To_query.is_pure c1 then false
       else
         let rhs = conjunct_concept conj in
-        let rhs_ucq = To_query.ucq schema rhs in
+        let rhs_ucq = translate rhs in
         (match cls with
          | Fds_only ->
-           canonical_containment ~fd_filter:true schema c1 rhs_ucq
+           canonical_containment ~fd_filter:true ~translate schema c1 rhs_ucq
              (Ucq.constants rhs_ucq)
          | No_constraints | Views_only | Inds_only | Mixed ->
-           Containment.ucq_in_ucq (To_query.ucq schema c1) rhs_ucq)
+           Containment.ucq_in_ucq (translate c1) rhs_ucq)
   in
   let ind_rule () =
     match conj with
@@ -231,13 +256,17 @@ let decide_conjunct ~cls schema c1 conj =
 let selection_free_pair c1 c2 =
   Ls.is_selection_free c1 && Ls.is_selection_free c2
 
-let decide ?(chase_depth = 4) schema c1 c2 =
-  if concept_unsat schema c1 then Subsumed
+let decide ?(chase_depth = 4) ?translate schema c1 c2 =
+  Obs.incr c_decides;
+  let translate =
+    match translate with Some f -> f | None -> To_query.ucq schema
+  in
+  if concept_unsat ~translate c1 then Subsumed
   else
     let cls = classify schema in
     let all_covered =
       List.for_all
-        (fun conj -> decide_conjunct ~cls schema c1 conj)
+        (fun conj -> decide_conjunct ~cls ~translate schema c1 conj)
         (Ls.conjuncts c2)
     in
     if all_covered then Subsumed
@@ -248,12 +277,12 @@ let decide ?(chase_depth = 4) schema c1 c2 =
         (* Reachability + trivial containment is complete here. *)
         Not_subsumed
       | Inds_only | Mixed ->
-        if refute_with_counter_model ~chase_depth schema c1 c2 then
+        if refute_with_counter_model ~chase_depth ~translate schema c1 c2 then
           Not_subsumed
         else Unknown
 
-let subsumes ?chase_depth schema c1 c2 =
-  decide ?chase_depth schema c1 c2 = Subsumed
+let subsumes ?chase_depth ?translate schema c1 c2 =
+  decide ?chase_depth ?translate schema c1 c2 = Subsumed
 
-let refutes ?chase_depth schema c1 c2 =
-  decide ?chase_depth schema c1 c2 = Not_subsumed
+let refutes ?chase_depth ?translate schema c1 c2 =
+  decide ?chase_depth ?translate schema c1 c2 = Not_subsumed

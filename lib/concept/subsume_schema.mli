@@ -42,15 +42,33 @@ type constraint_class =
   | Mixed
 
 val classify : Schema.t -> constraint_class
+(** Which Table-1 row applies: determined purely by which kinds of
+    constraints (FDs, INDs, views) the schema carries. *)
 
-val decide : ?chase_depth:int -> Schema.t -> Ls.t -> Ls.t -> verdict
-(** [chase_depth] bounds the counter-model chase (default 4). *)
+val decide :
+  ?chase_depth:int -> ?translate:(Ls.t -> Ucq.t) -> Schema.t -> Ls.t -> Ls.t ->
+  verdict
+(** [chase_depth] bounds the counter-model chase (default 4).
 
-val subsumes : ?chase_depth:int -> Schema.t -> Ls.t -> Ls.t -> bool
+    [translate] supplies the concept-to-UCQ translation (default
+    {!To_query.ucq} on the given schema); {!Subsume_memo} passes a
+    memoised translation here so repeated decisions over the same schema
+    unfold each concept only once. A custom [translate] must agree with
+    [To_query.ucq schema] — it is a cache hook, not a semantic knob.
+
+    This entry point is deliberately uncached (each call re-decides from
+    scratch) so it can serve as the oracle for the differential tests;
+    use {!Subsume_memo.decide} on hot paths. *)
+
+val subsumes :
+  ?chase_depth:int -> ?translate:(Ls.t -> Ucq.t) -> Schema.t -> Ls.t -> Ls.t ->
+  bool
 (** [decide = Subsumed]. For the complete classes this decides ⊑_S; in
     general it under-approximates it. *)
 
-val refutes : ?chase_depth:int -> Schema.t -> Ls.t -> Ls.t -> bool
+val refutes :
+  ?chase_depth:int -> ?translate:(Ls.t -> Ucq.t) -> Schema.t -> Ls.t -> Ls.t ->
+  bool
 (** [decide = Not_subsumed]. *)
 
 val chase_to_legal_instance :

@@ -1,4 +1,13 @@
 open Whynot_relational
+module Obs = Whynot_obs.Obs
+
+let c_candidates =
+  Obs.counter "mge.exhaustive.candidates"
+    ~doc:"Algorithm 1 per-position candidate concepts retained"
+
+let c_tuples =
+  Obs.counter "mge.exhaustive.tuples"
+    ~doc:"Algorithm 1 candidate explanation tuples examined"
 
 let concepts_exn o =
   match o.Ontology.concepts with
@@ -9,9 +18,13 @@ let concepts_exn o =
    corresponding component of the missing tuple (line 1 of Algorithm 1). *)
 let candidates o wn =
   let cs = concepts_exn o in
-  List.map
-    (fun a -> List.filter (fun c -> o.Ontology.mem c a) cs)
-    (Whynot.missing_values wn)
+  let per_position =
+    List.map
+      (fun a -> List.filter (fun c -> o.Ontology.mem c a) cs)
+      (Whynot.missing_values wn)
+  in
+  List.iter (fun cands -> Obs.add c_candidates (List.length cands)) per_position;
+  per_position
 
 (* The kill-set of a concept at a position: which answer tuples have their
    component outside the concept's extension. Explanations are exactly the
@@ -42,6 +55,7 @@ let enumerate_explanations o wn per_position =
   in
   product_fold
     (fun acc chosen ->
+       Obs.incr c_tuples;
        let killed =
          List.fold_left
            (fun s (_, ks) -> Int_set.union s ks)

@@ -28,10 +28,19 @@ val all_mges_unpruned : 'c Ontology.t -> Whynot.t -> 'c Explanation.t list
     baseline for the D3 ablation benchmark. *)
 
 val exists_explanation : 'c Ontology.t -> Whynot.t -> bool
+(** EXISTENCE-OF-EXPLANATION: is there {e any} explanation w.r.t. this
+    ontology? Backtracking over positions with a coverage pruning rule —
+    it never builds the candidate product, so a positive answer can be
+    much cheaper than {!all_mges}. *)
 
 val one_mge : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
+(** One most-general explanation, or [None] when none exists: find any
+    explanation as in {!exists_explanation}, then {!generalise} it. *)
 
 val check_mge : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool
+(** CHECK-MGE: is the candidate an explanation that admits no strict
+    single-position upgrade? Also the post-hoc verifier for the output
+    of Algorithm 2 in the differential property tests. *)
 
 val is_most_general :
   'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool

@@ -20,6 +20,7 @@ val disjoint_from_answers : 'c Ontology.t -> Whynot.t -> 'c t -> bool
 (** Second condition: the product of extensions misses every answer. *)
 
 val is_explanation : 'c Ontology.t -> Whynot.t -> 'c t -> bool
+(** Both conditions: {!covers_missing} and {!disjoint_from_answers}. *)
 
 val less_general : 'c Ontology.t -> 'c t -> 'c t -> bool
 (** [less_general o e e'] iff [e ≤_O e']: componentwise subsumption. *)
@@ -28,5 +29,8 @@ val strictly_less_general : 'c Ontology.t -> 'c t -> 'c t -> bool
 (** [e <_O e']: [e ≤_O e'] and not [e' ≤_O e]. *)
 
 val equivalent : 'c Ontology.t -> 'c t -> 'c t -> bool
+(** [e ≤_O e'] and [e' ≤_O e] — the equivalence classes modulo which
+    {!Exhaustive.all_mges} keeps one representative. *)
 
 val pp : 'c Ontology.t -> Format.formatter -> 'c t -> unit
+(** Print as [(C_1, ..., C_m)] using the ontology's concept printer. *)

@@ -4,6 +4,15 @@ open Whynot_concept
 let src = Logs.Src.create "whynot.incremental" ~doc:"Algorithm 2"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Whynot_obs.Obs
+
+let c_absorb_attempts =
+  Obs.counter "mge.incremental.absorb_attempts"
+    ~doc:"Algorithm 2 candidate (position, constant) absorptions tried"
+
+let c_absorbed =
+  Obs.counter "mge.incremental.absorbed"
+    ~doc:"Algorithm 2 absorptions that kept the explanation valid"
 
 type variant =
   | Selection_free
@@ -37,6 +46,7 @@ let one_mge_with_trace ?(variant = Selection_free) ?(order = `Ascending) wn =
     match order with `Ascending -> asc | `Descending -> List.rev asc
   in
   let m = Whynot.arity wn in
+  let h = Subsume_memo.inst inst in
   let trace = ref [] in
   let support =
     Array.of_list (List.map Value_set.singleton (Whynot.missing_values wn))
@@ -45,13 +55,15 @@ let one_mge_with_trace ?(variant = Selection_free) ?(order = `Ascending) wn =
   for j = 0 to m - 1 do
     List.iter
       (fun b ->
-         if not (Semantics.mem b concepts.(j) inst) then begin
+         if not (Subsume_memo.mem h b concepts.(j)) then begin
+           Obs.incr c_absorb_attempts;
            let x' = Value_set.add b support.(j) in
            let c' = lub inst x' in
            let e' = replace_nth (Array.to_list concepts) j c' in
            let ok = Explanation.is_explanation o wn e' in
            trace := (j, b, ok) :: !trace;
            if ok then begin
+             Obs.incr c_absorbed;
              Log.debug (fun m ->
                  m "position %d absorbed %s" (j + 1) (Value.to_string b));
              support.(j) <- x';
@@ -74,8 +86,9 @@ let check_mge ?(variant = Selection_free) wn e =
   if not (Explanation.is_explanation o wn e) then false
   else
     let adom = Value_set.elements (Instance.adom inst) in
+    let h = Subsume_memo.inst inst in
     let ext_set c =
-      match Semantics.extension c inst with
+      match Subsume_memo.extension h c with
       | Semantics.All -> None
       | Semantics.Fin s -> Some s
     in

@@ -82,34 +82,27 @@ let of_obda induced =
 (* --- ontologies derived from an instance or a schema (Definition 4.8) --- *)
 
 let of_instance inst =
+  let h = Whynot_concept.Subsume_memo.inst inst in
   {
     name = "O_I";
     concepts = None;
-    subsumes = Whynot_concept.Subsume_inst.subsumes inst;
-    mem = (fun c v -> Whynot_concept.Semantics.mem v c inst);
+    subsumes = Whynot_concept.Subsume_memo.subsumes h;
+    mem = (fun c v -> Whynot_concept.Subsume_memo.mem h v c);
     equal = Whynot_concept.Ls.equal;
     pp = (fun ppf c -> Whynot_concept.Ls.pp () ppf c);
   }
 
 let of_schema schema inst =
   (* Schema-level subsumption is costly (containment, counter-model
-     search); the algorithms re-ask the same pairs, so memoise. *)
-  let memo : (Whynot_concept.Ls.t * Whynot_concept.Ls.t, bool) Hashtbl.t =
-    Hashtbl.create 1024
-  in
-  let subsumes c1 c2 =
-    match Hashtbl.find_opt memo (c1, c2) with
-    | Some r -> r
-    | None ->
-      let r = Whynot_concept.Subsume_schema.subsumes schema c1 c2 in
-      Hashtbl.add memo (c1, c2) r;
-      r
-  in
+     search); the algorithms re-ask the same pairs, so all verdicts go
+     through the shared memo layer, keyed on hash-consed concept ids. *)
+  let sh = Whynot_concept.Subsume_memo.schema schema in
+  let ih = Whynot_concept.Subsume_memo.inst inst in
   {
     name = "O_S";
     concepts = None;
-    subsumes;
-    mem = (fun c v -> Whynot_concept.Semantics.mem v c inst);
+    subsumes = Whynot_concept.Subsume_memo.schema_subsumes sh;
+    mem = (fun c v -> Whynot_concept.Subsume_memo.mem ih v c);
     equal = Whynot_concept.Ls.equal;
     pp = (fun ppf c -> Whynot_concept.Ls.pp ~schema () ppf c);
   }

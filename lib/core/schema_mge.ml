@@ -3,11 +3,23 @@ type fragment =
   | `Selection_free
   ]
 
+module Obs = Whynot_obs.Obs
+
+let c_concepts =
+  Obs.counter "mge.schema.concepts"
+    ~doc:"finite schema-ontology concept pool sizes enumerated"
+
 let ontology fragment schema wn =
   let pool = Whynot.constant_pool wn in
-  Ontology.of_schema_finite
-    ~minimal_only:(fragment = `Minimal)
-    schema wn.Whynot.instance pool
+  let o =
+    Ontology.of_schema_finite
+      ~minimal_only:(fragment = `Minimal)
+      schema wn.Whynot.instance pool
+  in
+  (match o.Ontology.concepts with
+   | Some cs -> Obs.add c_concepts (List.length cs)
+   | None -> ());
+  o
 
 let one_mge fragment schema wn =
   Exhaustive.one_mge (ontology fragment schema wn) wn

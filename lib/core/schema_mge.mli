@@ -35,6 +35,10 @@ val all_mges :
   Whynot_relational.Schema.t ->
   Whynot.t ->
   Whynot_concept.Ls.t Explanation.t list
+(** All MGEs w.r.t. [O_S] restricted to the fragment, by Algorithm 1
+    over the materialised finite ontology.
+    @raise Invalid_argument if the fragment is infinite over this
+    schema and constant pool. *)
 
 val check_mge :
   fragment ->
@@ -42,3 +46,5 @@ val check_mge :
   Whynot.t ->
   Whynot_concept.Ls.t Explanation.t ->
   bool
+(** CHECK-MGE w.r.t. [O_S]: subsumption is [⊑_S] under the schema's
+    constraints, extensions are still evaluated over the instance. *)

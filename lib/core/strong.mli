@@ -27,6 +27,10 @@ val decide_wrt_schema :
   Whynot.t ->
   Whynot_concept.Ls.t Explanation.t ->
   verdict
+(** Is the explanation strong: does it exclude the missing tuple on
+    {e every} instance satisfying the schema, not just this one?
+    Inherits the three-valued behaviour (and [chase_depth] bound) of
+    the underlying [⊑_S] machinery, hence [Unknown]. *)
 
 val is_explanation_but_not_strong :
   ?chase_depth:int ->

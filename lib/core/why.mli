@@ -42,8 +42,11 @@ val make_exn :
   witness:Value.t list ->
   unit ->
   t
+(** {!make}, raising [Invalid_argument] on [Error]. *)
 
 val is_why_explanation : 'c Ontology.t -> t -> 'c Explanation.t -> bool
+(** The dual conditions: every [a_i ∈ ext(C_i)] and the product of the
+    extensions stays {e inside} the answer set. *)
 
 val one_mge :
   ?variant:Incremental.variant ->
@@ -58,3 +61,5 @@ val check_mge :
   t ->
   Whynot_concept.Ls.t Explanation.t ->
   bool
+(** Is the candidate a why explanation admitting no strict
+    single-position upgrade within the fragment? *)

@@ -33,12 +33,16 @@ val make_exn :
   missing:Value.t list ->
   unit ->
   t
+(** {!make}, raising [Invalid_argument] on [Error]. *)
 
 val arity : t -> int
+(** The arity [m] of the query — one explanation concept per position. *)
 
 val missing_values : t -> Value.t list
+(** The components [a_1, ..., a_m] of the missing tuple. *)
 
 val constant_pool : t -> Value_set.t
 (** [K = adom(I) ∪ {a_1, ..., a_m}] (Proposition 5.1). *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line [a ∉ q(I)] summary for diagnostics. *)

@@ -1,0 +1,121 @@
+type counter = {
+  name : string;
+  mutable doc : string;
+  mutable count : int;
+}
+
+type timer = {
+  tname : string;
+  mutable tdoc : string;
+  mutable ns : int;
+  mutable calls : int;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+
+let counter ?(doc = "") name =
+  match Hashtbl.find_opt counters name with
+  | Some c ->
+    if c.doc = "" && doc <> "" then c.doc <- doc;
+    c
+  | None ->
+    let c = { name; doc; count = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+let name c = c.name
+
+let timer ?(doc = "") name =
+  match Hashtbl.find_opt timers name with
+  | Some t ->
+    if t.tdoc = "" && doc <> "" then t.tdoc <- doc;
+    t
+  | None ->
+    let t = { tname = name; tdoc = doc; ns = 0; calls = 0 } in
+    Hashtbl.add timers name t;
+    t
+
+let record_ns t ns =
+  t.ns <- t.ns + ns;
+  t.calls <- t.calls + 1
+
+let time t f =
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    record_ns t (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception exn ->
+    finish ();
+    raise exn
+
+let timer_ns t = t.ns
+
+let snapshot () =
+  let counter_entries =
+    Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) counters []
+  in
+  let timer_entries =
+    Hashtbl.fold
+      (fun name t acc ->
+         (name ^ ".ns", t.ns) :: (name ^ ".calls", t.calls) :: acc)
+      timers []
+  in
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (counter_entries @ timer_entries)
+
+let delta f =
+  let before = snapshot () in
+  let v = f () in
+  let after = snapshot () in
+  let diff =
+    List.filter_map
+      (fun (name, n) ->
+         let n0 = Option.value ~default:0 (List.assoc_opt name before) in
+         if n - n0 <> 0 then Some (name, n - n0) else None)
+      after
+  in
+  (v, diff)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ t ->
+       t.ns <- 0;
+       t.calls <- 0)
+    timers
+
+let pp ppf () =
+  let docs =
+    Hashtbl.fold (fun name c acc -> (name, c.doc) :: acc) counters []
+    @ Hashtbl.fold (fun name t acc -> (name, t.tdoc) :: acc) timers []
+  in
+  let entries = List.filter (fun (_, n) -> n <> 0) (snapshot ()) in
+  if entries = [] then Format.fprintf ppf "(no events recorded)@."
+  else
+    List.iter
+      (fun (name, n) ->
+         let doc =
+           (* Exact name first (counters may themselves end in [.calls]);
+              timer entries then fall back to their base name. *)
+           match List.assoc_opt name docs with
+           | Some d when d <> "" -> d
+           | _ ->
+             let base =
+               match Filename.extension name with
+               | ".ns" | ".calls" -> Filename.remove_extension name
+               | _ -> name
+             in
+             Option.value ~default:"" (List.assoc_opt base docs)
+         in
+         if doc = "" then Format.fprintf ppf "%-44s %d@." name n
+         else Format.fprintf ppf "%-44s %-12d %s@." name n doc)
+      entries

@@ -330,6 +330,48 @@ let cq_containment_sound =
           || Relation.subset (Cq.eval q1 inst) (Cq.eval q2 inst)))
 
 (* ------------------------------------------------------------------ *)
+(* The memo layer vs the cache-free oracles                            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_inst_concept_pair =
+  let* inst = Gen.instance in
+  let concept = Gen.concept ~max_conjuncts:3 Gen.rs_schema in
+  let* c1 = concept in
+  let* c2 = concept in
+  QG.return (inst, c1, c2)
+
+(* The cached instance-level decider must agree with the direct
+   extension-inclusion computation, and asking again (now guaranteed to be
+   answered from the memo table) must return the same verdict. *)
+let memo_inst_cached_vs_naive =
+  prop "memo/subsume-inst-cached-vs-naive" 300
+    (fun (inst, c1, c2) ->
+      Printf.sprintf "%s\nC1 = %s\nC2 = %s" (str_instance inst)
+        (Ls.to_string c1) (Ls.to_string c2))
+    gen_inst_concept_pair
+    (fun (inst, c1, c2) ->
+      let naive = Subsume_inst.naive_subsumes inst c1 c2 in
+      let cached = Subsume_inst.subsumes inst c1 c2 in
+      let replayed = Subsume_inst.subsumes inst c1 c2 in
+      let h = Whynot_concept.Subsume_memo.inst inst in
+      cached = naive && replayed = naive
+      && Semantics.ext_equal
+           (Whynot_concept.Subsume_memo.extension h c1)
+           (Semantics.extension c1 inst))
+
+(* The cached schema-level decider must return exactly the verdict of the
+   uncached Table-1 decider (which is kept deliberately memo-free as the
+   oracle), on first ask and on the replay that hits the cache. *)
+let memo_schema_cached_vs_uncached =
+  prop "memo/subsume-schema-cached-vs-uncached" 100 str_subsume_case
+    gen_subsume_case (fun (_cls, s, c1, c2, _insts) ->
+      let oracle = Subsume_schema.decide s c1 c2 in
+      let h = Whynot_concept.Subsume_memo.schema s in
+      let cached = Whynot_concept.Subsume_memo.decide h c1 c2 in
+      let replayed = Whynot_concept.Subsume_memo.decide h c1 c2 in
+      cached = oracle && replayed = oracle)
+
+(* ------------------------------------------------------------------ *)
 (* Text parser vs the Surface printer                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -404,6 +446,8 @@ let all =
     irredundant_vs_subset_search;
     cq_containment_vs_homomorphism;
     cq_containment_sound;
+    memo_inst_cached_vs_naive;
+    memo_schema_cached_vs_uncached;
     text_concept_roundtrip;
     text_document_roundtrip;
     text_values_roundtrip;

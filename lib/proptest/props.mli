@@ -30,6 +30,10 @@
     - [Containment.cq_in_cq] vs the canonical-database homomorphism test
       (comparison-free fragment), and soundness on sampled instances with
       comparisons.
+    - The {!Whynot_concept.Subsume_memo} layer vs the cache-free deciders:
+      cached [⊑_I] vs [Subsume_inst.naive_subsumes] (including the
+      guaranteed-hit replay and the cached extension), and cached [⊑_S]
+      vs the uncached [Subsume_schema.decide] oracle.
     - Text [Parser] vs {!Surface} printer: concept, document and value
       round-trips. *)
 

@@ -23,6 +23,50 @@ let make ~head ~atoms ?(comparisons = []) () = { head; atoms; comparisons }
 
 let arity q = List.length q.head
 
+(* --- hash-consed identities ---
+
+   Atoms and whole queries are given process-unique integer ids via intern
+   side-tables (the types stay transparent, so this is identity
+   hash-consing rather than representation sharing). Structurally equal
+   values — under [Stdlib.compare], so float constants behave like they do
+   in the rest of the order — always receive the same id, which makes the
+   ids usable as memo keys for translation and containment caches. *)
+
+module Intern (K : sig type t end) = struct
+  module Tbl = Hashtbl.Make (struct
+      type t = K.t
+
+      let equal a b = Stdlib.compare a b = 0
+      let hash = Hashtbl.hash
+    end)
+
+  let make counter =
+    let table : int Tbl.t = Tbl.create 256 in
+    let next = ref 0 in
+    fun k ->
+      match Tbl.find_opt table k with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        Stdlib.incr next;
+        Whynot_obs.Obs.incr counter;
+        Tbl.add table k id;
+        id
+end
+
+module Atom_intern = Intern (struct type nonrec t = atom end)
+module Query_intern = Intern (struct type nonrec t = t end)
+
+let atom_id =
+  Atom_intern.make
+    (Whynot_obs.Obs.counter "cq.atoms.interned"
+       ~doc:"distinct hash-consed CQ atoms")
+
+let id =
+  Query_intern.make
+    (Whynot_obs.Obs.counter "cq.queries.interned"
+       ~doc:"distinct hash-consed CQs")
+
 let add_var seen acc = function
   | Const _ -> (seen, acc)
   | Var v -> if List.mem v seen then (seen, acc) else (v :: seen, v :: acc)

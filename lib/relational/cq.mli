@@ -33,6 +33,14 @@ val make :
 
 val arity : t -> int
 
+val atom_id : atom -> int
+(** Hash-consed identity of an atom: structurally equal atoms share an id.
+    Ids are process-unique memo keys; they are not stable across runs. *)
+
+val id : t -> int
+(** Hash-consed identity of a whole query (same contract as {!atom_id});
+    the key used by the translation caches of the subsumption memo layer. *)
+
 val vars : t -> string list
 (** All variables, in first-occurrence order (head, then atoms, then
     comparisons). *)
