@@ -11,6 +11,10 @@
 
    Run with: dune exec bench/main.exe *)
 
+(* Bind the facade before [open Whynot_core] shadows the [Whynot] name
+   with the core question module. *)
+module Engine = Whynot.Engine
+
 open Bechamel
 open Whynot_relational
 open Whynot_core
@@ -188,7 +192,7 @@ let ex_3_4 () =
   header "EX3.4" "Figures 1-3 + Example 3.4: why-not with a hand ontology";
   row "answers |q(I)| = %d (paper: 4)@."
     (Relation.cardinal whynot_cities.Whynot.answers);
-  let mges = Exhaustive.all_mges hand_ontology whynot_cities in
+  let mges = Exhaustive.all_mges_exn hand_ontology whynot_cities in
   List.iter
     (fun e ->
        row "MGE: %s@."
@@ -197,7 +201,7 @@ let ex_3_4 () =
   row "paper's E4 = <European-City, US-City> is among them: %b@."
     (List.exists (fun e -> e = [ "European-City"; "US-City" ]) mges);
   timed "EX3.4" "Algorithm 1 (all MGEs, Figure 3 ontology)" (fun () ->
-      Exhaustive.all_mges hand_ontology whynot_cities)
+      Exhaustive.all_mges_exn hand_ontology whynot_cities)
 
 (* ================================================================== *)
 (* EX4.5 / FIG4: OBDA-induced ontology                                 *)
@@ -209,17 +213,17 @@ let ex_4_5 () =
   let o = Ontology.of_obda induced in
   row "basic concepts in T: %d (paper: 13)@."
     (List.length (Whynot_obda.Induced.concepts induced));
-  let mges = Exhaustive.all_mges o whynot_cities in
+  let mges = Exhaustive.all_mges_exn o whynot_cities in
   List.iter
     (fun e -> row "MGE: %s@." (Format.asprintf "%a" (Explanation.pp o) e))
     mges;
   row "paper's E1 = <EU-City, N.A.-City> is most general: %b@."
-    (Exhaustive.check_mge o whynot_cities
+    (Exhaustive.check_mge_exn o whynot_cities
        [ Whynot_dllite.Dl.Atom "EU-City"; Whynot_dllite.Dl.Atom "N.A.-City" ]);
   timed "EX4.5" "induced-ontology preparation (Thm 4.2)" (fun () ->
       Whynot_obda.Induced.prepare Cities.obda_spec Cities.instance);
   timed "EX4.5" "Algorithm 1 over O_B" (fun () ->
-      Exhaustive.all_mges o whynot_cities)
+      Exhaustive.all_mges_exn o whynot_cities)
 
 (* ================================================================== *)
 (* FIG5 / EX4.9: derived ontologies                                    *)
@@ -279,9 +283,9 @@ let ex_retail () =
   in
   List.iter
     (fun e -> row "MGE: %s@." (Format.asprintf "%a" (Explanation.pp o) e))
-    (Exhaustive.all_mges o wn);
+    (Exhaustive.all_mges_exn o wn);
   timed "EX-RETAIL" "Algorithm 1 (retail ontology)" (fun () ->
-      Exhaustive.all_mges o wn)
+      Exhaustive.all_mges_exn o wn)
 
 (* ================================================================== *)
 (* TAB1: complexity of concept subsumption w.r.t. a schema             *)
@@ -365,7 +369,7 @@ let alg1 () =
        let g = Whynot_setcover.Reduction.build sc ~slots:2 in
        timed ~params:[ ("n_sets", float_of_int n_sets) ] "ALG1"
          (Printf.sprintf "all MGEs / concepts=%d" n_sets) (fun () ->
-           Exhaustive.all_mges g.Whynot_setcover.Reduction.ontology
+           Exhaustive.all_mges_exn g.Whynot_setcover.Reduction.ontology
              g.Whynot_setcover.Reduction.whynot))
     (sweep [ 4; 8; 16 ]);
   row "-- query arity sweep (exponent of Theorem 5.2) --@.";
@@ -378,7 +382,7 @@ let alg1 () =
        let g = Whynot_setcover.Reduction.build sc ~slots in
        timed ~params:[ ("arity", float_of_int slots) ] "ALG1"
          (Printf.sprintf "all MGEs / arity=%d" slots) (fun () ->
-           Exhaustive.all_mges g.Whynot_setcover.Reduction.ontology
+           Exhaustive.all_mges_exn g.Whynot_setcover.Reduction.ontology
              g.Whynot_setcover.Reduction.whynot))
     (sweep [ 1; 2; 3 ]);
   row "-- D3 ablation: candidate pruning --@.";
@@ -388,10 +392,10 @@ let alg1 () =
   in
   let g = Whynot_setcover.Reduction.build sc ~slots:2 in
   timed "ALG1" "pruned (all_mges)" (fun () ->
-      Exhaustive.all_mges g.Whynot_setcover.Reduction.ontology
+      Exhaustive.all_mges_exn g.Whynot_setcover.Reduction.ontology
         g.Whynot_setcover.Reduction.whynot);
   timed "ALG1" "literal Algorithm 1 (all_mges_unpruned)" (fun () ->
-      Exhaustive.all_mges_unpruned g.Whynot_setcover.Reduction.ontology
+      Exhaustive.all_mges_unpruned_exn g.Whynot_setcover.Reduction.ontology
         g.Whynot_setcover.Reduction.whynot)
 
 let existence () =
@@ -404,7 +408,7 @@ let existence () =
        in
        let g = Whynot_setcover.Reduction.build sc ~slots:3 in
        let exists =
-         Exhaustive.exists_explanation g.Whynot_setcover.Reduction.ontology
+         Exhaustive.exists_explanation_exn g.Whynot_setcover.Reduction.ontology
            g.Whynot_setcover.Reduction.whynot
        in
        let cover = Whynot_setcover.Setcover.exists_cover_of_size sc 3 in
@@ -412,7 +416,7 @@ let existence () =
          n_sets exists cover;
        timed ~params:[ ("n_sets", float_of_int n_sets) ] "THM5.1"
          (Printf.sprintf "existence / sets=%d" n_sets) (fun () ->
-           Exhaustive.exists_explanation g.Whynot_setcover.Reduction.ontology
+           Exhaustive.exists_explanation_exn g.Whynot_setcover.Reduction.ontology
              g.Whynot_setcover.Reduction.whynot))
     (sweep [ 8; 16; 32 ])
 
@@ -557,8 +561,8 @@ let p6_4 () =
     | Some e -> Option.value ~default:(-1) (Cardinality.degree oc wnc e)
   in
   row "  crafted: exact degree=%d, greedy degree=%d (greedy suboptimal)@."
-    (degc (Cardinality.maximal oc wnc))
-    (degc (Cardinality.greedy oc wnc));
+    (degc (Cardinality.maximal_exn oc wnc))
+    (degc (Cardinality.greedy_exn oc wnc));
   List.iter
     (fun n_sets ->
        let sc =
@@ -572,15 +576,15 @@ let p6_4 () =
          | None -> -1
          | Some e -> Option.value ~default:(-1) (Cardinality.degree o wn e)
        in
-       let exact = Cardinality.maximal o wn and greedy = Cardinality.greedy o wn in
+       let exact = Cardinality.maximal_exn o wn and greedy = Cardinality.greedy_exn o wn in
        row "  n_sets=%-3d exact degree=%-4d greedy degree=%-4d@."
          n_sets (deg exact) (deg greedy);
        timed ~params:[ ("n_sets", float_of_int n_sets) ] "P6.4"
          (Printf.sprintf "exact / sets=%d" n_sets) (fun () ->
-           Cardinality.maximal o wn);
+           Cardinality.maximal_exn o wn);
        timed ~params:[ ("n_sets", float_of_int n_sets) ] "P6.4"
          (Printf.sprintf "greedy / sets=%d" n_sets) (fun () ->
-           Cardinality.greedy o wn))
+           Cardinality.greedy_exn o wn))
     (sweep [ 6; 10; 14 ])
 
 (* ================================================================== *)
@@ -769,6 +773,90 @@ let memo_bench () =
     row "  speedup (cold/warm) schema decide          %.0fx@." (c /. w)
   | _ -> ()
 
+(* ================================================================== *)
+(* PAR: domain-parallel MGE search behind the Engine facade            *)
+(* ================================================================== *)
+
+let par_bench () =
+  header "PAR" "Domain-parallel MGE search (Engine facade)";
+  let hw = Domain.recommended_domain_count () in
+  row "  host reports %d recommended domain(s); speedup is bounded by the@."
+    hw;
+  row "  hardware — on a single-core host every sweep point is ~1.0x@.";
+  let domain_sweep = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let with_engine ~domains ~instance f =
+    match Engine.create ~domains ~instance () with
+    | Error e ->
+      Printf.eprintf "bench: PAR: engine creation failed: %s\n%!"
+        (Whynot_error.to_string e);
+      None
+    | Ok engine ->
+      Fun.protect ~finally:(fun () -> ignore (Engine.close engine)) @@ fun () ->
+      f engine
+  in
+  let speedup label baseline = function
+    | Some par when par > 0. ->
+      (match baseline with
+       | Some seq -> row "  speedup vs sequential %-21s %.2fx@." label (seq /. par)
+       | None -> ())
+    | _ -> ()
+  in
+  row "-- Algorithm 2 (Incremental Search, O_I) / cities instance --@.";
+  let n_cities = if quick then 30 else 60 in
+  let gi =
+    Generate.cities_like ~n_cities ~n_countries:(max 2 (n_cities / 5))
+      ~n_connections:(2 * n_cities) ()
+  in
+  let wn = Generate.cities_whynot gi in
+  let cities = float_of_int n_cities in
+  let seq_inc =
+    timed_ns
+      ~params:[ ("cities", cities); ("domains", 0.) ]
+      "PAR"
+      (Printf.sprintf "Algorithm 2 sequential / cities=%d" n_cities)
+      (fun () ->
+         Incremental.one_mge ~variant:Incremental.Selection_free
+           ~shorten:false wn)
+  in
+  List.iter
+    (fun domains ->
+       let ns =
+         with_engine ~domains ~instance:wn.Whynot.instance @@ fun engine ->
+         timed_ns
+           ~params:[ ("cities", cities); ("domains", float_of_int domains) ]
+           "PAR"
+           (Printf.sprintf "Algorithm 2 / domains=%d" domains)
+           (fun () -> Result.get_ok (Engine.one_mge ~shorten:false engine wn))
+       in
+       speedup (Printf.sprintf "/ domains=%d" domains) seq_inc ns)
+    domain_sweep;
+  row "-- Algorithm 1 (Exhaustive Search) / set-cover gadget --@.";
+  let sc =
+    Whynot_setcover.Setcover.random ~seed:11 ~n_elements:8 ~n_sets:10
+      ~density:0.4 ()
+  in
+  let g = Whynot_setcover.Reduction.build sc ~slots:(if quick then 2 else 3) in
+  let o = g.Whynot_setcover.Reduction.ontology in
+  let gwn = g.Whynot_setcover.Reduction.whynot in
+  let seq_exh =
+    timed_ns
+      ~params:[ ("n_sets", 10.); ("domains", 0.) ]
+      "PAR" "Algorithm 1 sequential / set-cover"
+      (fun () -> Exhaustive.all_mges_exn o gwn)
+  in
+  List.iter
+    (fun domains ->
+       let ns =
+         with_engine ~domains ~instance:gwn.Whynot.instance @@ fun engine ->
+         timed_ns
+           ~params:[ ("n_sets", 10.); ("domains", float_of_int domains) ]
+           "PAR"
+           (Printf.sprintf "Algorithm 1 / domains=%d" domains)
+           (fun () -> Result.get_ok (Engine.all_mges_finite engine o gwn))
+       in
+       speedup (Printf.sprintf "/ domains=%d" domains) seq_exh ns)
+    domain_sweep
+
 let () =
   Format.printf "why-not explanations: benchmark harness@.";
   Format.printf "(experiment ids refer to DESIGN.md / EXPERIMENTS.md)@.";
@@ -783,6 +871,7 @@ let () =
   alg2 ();
   alg2_sigma ();
   memo_bench ();
+  par_bench ();
   p4_2 ();
   p6_2 ();
   p6_4 ();

@@ -7,12 +7,21 @@
      proptest_runner --prop NAME --seed SEED --count COUNT
 
    and can be pinned forever with --save-failures, which appends the
-   failing (prop, seed, count) triple to the corpus directory. *)
+   failing (prop, seed, count) triple to the corpus directory.
+
+   Per-property PASS/FAIL progress goes to stderr; stdout carries exactly
+   one versioned JSON envelope (the same shape the CLI emits), so CI can
+   pipe the output straight into a JSON validator. Exit code is 0 on
+   success and 2 on any failure. *)
 
 module Props = Whynot_proptest.Props
 module Corpus = Whynot_proptest.Corpus
+module Json = Whynot.Json
 
 let default_corpus_dir = "test/corpus"
+
+let emit result =
+  print_endline (Json.to_string (Json.envelope ~command:"proptest" result))
 
 let () =
   let list_only = ref false in
@@ -49,11 +58,20 @@ let () =
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     usage;
   if !list_only then begin
-    List.iter
-      (fun (p : Props.t) ->
-         Printf.printf "%-40s (default count %d)\n" p.Props.name
-           p.Props.default_count)
-      Props.all;
+    emit
+      (Json.Obj
+         [
+           ( "properties",
+             Json.List
+               (List.map
+                  (fun (p : Props.t) ->
+                     Json.Obj
+                       [
+                         ("name", Json.String p.Props.name);
+                         ("default_count", Json.Int p.Props.default_count);
+                       ])
+                  Props.all) );
+         ]);
     exit 0
   end;
   let props =
@@ -70,14 +88,16 @@ let () =
         names
   in
   let failures = ref 0 in
+  let failed_names = ref [] in
   let ran = ref 0 in
   let report name outcome =
     incr ran;
     match outcome with
-    | Ok () -> Printf.printf "PASS %s\n%!" name
+    | Ok () -> Printf.eprintf "PASS %s\n%!" name
     | Error msg ->
       incr failures;
-      Printf.printf "FAIL %s\n%s\n%!" name msg
+      failed_names := name :: !failed_names;
+      Printf.eprintf "FAIL %s\n%s\n%!" name msg
   in
   if !replay then begin
     let entries, errors = Corpus.load_dir !corpus_dir in
@@ -107,9 +127,17 @@ let () =
             }
           in
           let path = Corpus.save ~dir:!corpus_dir entry in
-          Printf.printf "saved %s\n%!" path
+          Printf.eprintf "saved %s\n%!" path
         | _ -> ());
        report p.Props.name outcome)
     props;
-  Printf.printf "%d properties, %d failures\n%!" !ran !failures;
-  exit (if !failures = 0 then 0 else 1)
+  emit
+    (Json.Obj
+       [
+         ("ran", Json.Int !ran);
+         ("failures", Json.Int !failures);
+         ( "failed",
+           Json.List
+             (List.rev_map (fun n -> Json.String n) !failed_names) );
+       ]);
+  exit (if !failures = 0 then 0 else 2)

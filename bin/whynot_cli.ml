@@ -1,29 +1,63 @@
 (* Command-line interface: load a why-not document (schema, facts, query,
-   why-not tuple, optional ontologies) and explain the missing tuple.
+   why-not tuple, optional ontologies) and explain the missing tuple
+   through the [Whynot.Engine] facade.
+
+   Every subcommand prints one JSON envelope on stdout,
+
+     {"schema_version": 2, "command": "...", "result": ...}
+     {"schema_version": 2, "command": "...", "error": {"code", "message"}}
+
+   and exits 0 (ok), 1 (the question has no explanation / the tuple is not
+   an answer), or 2 (error). Logs and --stats tables go to stderr so the
+   envelope stays machine-readable.
 
    See `examples/data/cities.whynot` for the input format, and the Parser
    module documentation for the grammar. *)
 
+(* Bind the facade before [open Whynot_core] shadows the [Whynot] name
+   with the core question module. *)
+module Engine = Whynot.Engine
+module Json = Whynot.Json
+
 open Cmdliner
 open Whynot_relational
 open Whynot_core
+module Parser = Whynot_text.Parser
 
-let load path =
-  match Whynot_text.Parser.parse_file path with
-  | Ok doc -> Ok doc
-  | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg))
-
-let or_die = function
-  | Ok v -> v
-  | Error (`Msg msg) ->
-    Format.eprintf "error: %s@." msg;
-    exit 1
-
-let msg_of_string r = Result.map_error (fun m -> `Msg m) r
+let ( let* ) = Result.bind
 
 let setup_logs verbose =
-  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_reporter (Logs.format_reporter ~app:Format.err_formatter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let dump_stats stats =
+  if stats then Format.eprintf "@.-- stats --@.%a" Whynot_obs.Obs.pp ()
+
+(* Run one subcommand body: [f ()] returns [Ok (result_json, exit_code)] or
+   an engine error; either way exactly one envelope is printed. *)
+let wrap command f =
+  match f () with
+  | Ok (result, code) ->
+    print_endline (Json.to_string (Json.envelope ~command result));
+    code
+  | Error err ->
+    print_endline (Json.to_string (Json.error_envelope ~command err));
+    2
+
+let json_of_value = function
+  | Value.Int n -> Json.Int n
+  | Value.Real x -> Json.Float x
+  | Value.Str s -> Json.String s
+
+let json_of_tuple t = Json.List (List.map json_of_value (Tuple.to_list t))
+
+let json_of_explanation (o : _ Ontology.t) e =
+  Json.List
+    (List.map
+       (fun c -> Json.String (Format.asprintf "%a" o.Ontology.pp c))
+       e)
+
+(* --- common flags --- *)
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
@@ -32,67 +66,114 @@ let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
            ~doc:"After the command, print the engine's observability \
-                 counters (subsumption calls vs cache hits, canonical \
-                 instantiations, chase steps, candidates explored, ...).")
+                 counters to stderr (subsumption calls vs cache hits, \
+                 candidates explored, parallel batches, ...).")
 
-let dump_stats stats =
-  if stats then Format.printf "@.-- stats --@.%a" Whynot_obs.Obs.pp ()
+let default_domains () =
+  match Sys.getenv_opt "DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> 1)
+  | None -> 1
+
+let domains_arg =
+  Arg.(value & opt int (default_domains ())
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel MGE search. Defaults to \
+                 the $(b,DOMAINS) environment variable, else 1 (fully \
+                 sequential). The answer is identical for every N.")
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
 (* --- check --- *)
 
 let check_cmd =
   let run path =
-    let doc = or_die (load path) in
-    let schema = or_die (msg_of_string (Whynot_text.Parser.schema_of doc)) in
-    Format.printf "schema: %d relation(s), %d FD(s), %d IND(s), %d view(s)@."
-      (List.length (Schema.relations schema))
-      (List.length (Schema.fds schema))
-      (List.length (Schema.inds schema))
-      (List.length (Whynot_relational.View.defs (Schema.views schema)));
-    let inst = Whynot_text.Parser.instance_of doc in
-    Format.printf "instance: %d fact(s), %d constant(s) in the active domain@."
-      (Instance.fact_count inst)
-      (Value_set.cardinal (Instance.adom inst));
-    (match Schema.satisfies schema inst with
-     | Ok () -> Format.printf "integrity constraints: satisfied@."
-     | Error msg -> Format.printf "integrity constraints: VIOLATED (%s)@." msg);
-    (match Whynot_text.Parser.whynot_of doc with
-     | Ok wn -> Format.printf "%a@." Whynot.pp wn
-     | Error msg -> Format.printf "why-not question: %s@." msg);
-    (match Whynot_text.Parser.hand_ontology_of doc with
-     | Some o ->
-       Format.printf "hand ontology: %d concept(s)@."
-         (List.length (Option.value ~default:[] o.Ontology.concepts))
-     | None -> ());
-    match or_die (msg_of_string (Whynot_text.Parser.obda_spec_of doc)) with
-    | Some spec ->
-      Format.printf "OBDA: %d TBox axiom(s), %d mapping(s)@."
-        (Whynot_dllite.Tbox.size (Whynot_obda.Spec.tbox spec))
-        (List.length (Whynot_obda.Spec.mappings spec))
-    | None -> ()
+    wrap "check" @@ fun () ->
+    let* doc = Parser.parse_file path in
+    let* schema = Parser.schema_of doc in
+    let inst = Parser.instance_of doc in
+    let constraints =
+      match Schema.satisfies schema inst with
+      | Ok () -> Json.Obj [ ("satisfied", Json.Bool true) ]
+      | Error msg ->
+        Json.Obj
+          [ ("satisfied", Json.Bool false); ("violation", Json.String msg) ]
+    in
+    let whynot =
+      match Parser.whynot_of doc with
+      | Ok wn -> Json.String (Format.asprintf "%a" Whynot.pp wn)
+      | Error e -> Json.String (Whynot_error.to_string e)
+    in
+    let hand =
+      match Parser.hand_ontology_of doc with
+      | Some o ->
+        Json.Int (List.length (Option.value ~default:[] o.Ontology.concepts))
+      | None -> Json.Null
+    in
+    let* obda = Parser.obda_spec_of doc in
+    let obda_json =
+      match obda with
+      | Some spec ->
+        Json.Obj
+          [
+            ( "tbox_axioms",
+              Json.Int (Whynot_dllite.Tbox.size (Whynot_obda.Spec.tbox spec)) );
+            ( "mappings",
+              Json.Int (List.length (Whynot_obda.Spec.mappings spec)) );
+          ]
+      | None -> Json.Null
+    in
+    Ok
+      ( Json.Obj
+          [
+            ("relations", Json.Int (List.length (Schema.relations schema)));
+            ("fds", Json.Int (List.length (Schema.fds schema)));
+            ("inds", Json.Int (List.length (Schema.inds schema)));
+            ( "views",
+              Json.Int
+                (List.length
+                   (Whynot_relational.View.defs (Schema.views schema))) );
+            ("facts", Json.Int (Instance.fact_count inst));
+            ("adom", Json.Int (Value_set.cardinal (Instance.adom inst)));
+            ("constraints", constraints);
+            ("whynot", whynot);
+            ("hand_ontology_concepts", hand);
+            ("obda", obda_json);
+          ],
+        0 )
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and validate a why-not document.")
-    Term.(const run $ path)
+    Term.(const run $ path_arg)
 
 (* --- answers --- *)
 
 let answers_cmd =
   let run path =
-    let doc = or_die (load path) in
-    match doc.Whynot_text.Parser.query with
-    | None -> or_die (Error (`Msg "no query in document"))
+    wrap "answers" @@ fun () ->
+    let* doc = Parser.parse_file path in
+    match doc.Parser.query with
+    | None -> Error (`Missing_input "no query in document")
     | Some (name, q) ->
-      let inst = Whynot_text.Parser.instance_of doc in
+      let inst = Parser.instance_of doc in
       let result = Cq.eval q inst in
-      Format.printf "%s has %d answer(s):@." name (Relation.cardinal result);
-      Relation.iter (fun t -> Format.printf "  %a@." Tuple.pp t) result
+      let tuples = ref [] in
+      Relation.iter (fun t -> tuples := json_of_tuple t :: !tuples) result;
+      Ok
+        ( Json.Obj
+            [
+              ("query", Json.String name);
+              ("count", Json.Int (Relation.cardinal result));
+              ("answers", Json.List (List.rev !tuples));
+            ],
+          0 )
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "answers" ~doc:"Evaluate the document's query.")
-    Term.(const run $ path)
+    Term.(const run $ path_arg)
 
 (* --- explain --- *)
 
@@ -107,58 +188,92 @@ let ontology_conv =
     [ ("hand", Hand); ("obda", Obda); ("instance", From_instance);
       ("schema", From_schema) ]
 
-let explain_cmd =
-  let run path choice selections all verbose stats =
-    setup_logs verbose;
-    let doc = or_die (load path) in
-    let wn = or_die (msg_of_string (Whynot_text.Parser.whynot_of doc)) in
-    let print_finite_mges (type c) (o : c Ontology.t) =
-      let mges = Exhaustive.all_mges o wn in
-      if mges = [] then Format.printf "no explanation exists@."
-      else if all then
-        List.iter
-          (fun e -> Format.printf "MGE: %a@." (Explanation.pp o) e)
-          mges
-      else Format.printf "MGE: %a@." (Explanation.pp o) (List.hd mges)
-    in
-    (match choice with
-     | Hand ->
-       (match Whynot_text.Parser.hand_ontology_of doc with
-        | None -> or_die (Error (`Msg "no hand ontology in document (ext items)"))
-        | Some o -> print_finite_mges o)
-     | Obda ->
-       (match or_die (msg_of_string (Whynot_text.Parser.obda_spec_of doc)) with
-        | None -> or_die (Error (`Msg "no OBDA specification in document"))
-        | Some spec ->
-          let induced =
-            Whynot_obda.Induced.prepare spec wn.Whynot.instance
-          in
-          (match Whynot_obda.Induced.consistent induced with
-           | Ok () -> ()
-           | Error msg ->
-             Format.printf "warning: retrieved assertions inconsistent: %s@." msg);
-          print_finite_mges (Ontology.of_obda induced))
-     | From_instance ->
-       let variant =
-         if selections then Incremental.With_selections
-         else Incremental.Selection_free
-       in
-       let e = Incremental.one_mge ~variant wn in
-       let o = Ontology.of_instance wn.Whynot.instance in
-       Format.printf "MGE w.r.t. O_I: %a@." (Explanation.pp o) e
-     | From_schema ->
-       let schema =
-         or_die (msg_of_string (Whynot_text.Parser.schema_of doc))
-       in
-       (match Schema_mge.one_mge `Minimal schema wn with
-        | Some e ->
-          let o = Schema_mge.ontology `Minimal schema wn in
-          Format.printf "MGE w.r.t. O_S[K] (minimal fragment): %a@."
-            (Explanation.pp o) e
-        | None -> Format.printf "no explanation exists@."));
-    dump_stats stats
+let with_engine ?schema ~domains ~instance f =
+  let* engine = Engine.create ?schema ~domains ~instance () in
+  let finish r =
+    let* () = Engine.close engine in
+    r
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  match f engine with
+  | r -> finish r
+  | exception exn ->
+    ignore (Engine.close engine);
+    raise exn
+
+let mges_result ~ontology_name ~domains o mges =
+  Ok
+    ( Json.Obj
+        [
+          ("ontology", Json.String ontology_name);
+          ("domains", Json.Int domains);
+          ("count", Json.Int (List.length mges));
+          ("mges", Json.List (List.map (json_of_explanation o) mges));
+        ],
+      if mges = [] then 1 else 0 )
+
+let explain_cmd =
+  let run path choice selections all domains verbose stats =
+    setup_logs verbose;
+    let code =
+      wrap "explain" @@ fun () ->
+      let* doc = Parser.parse_file path in
+      let* wn = Parser.whynot_of doc in
+      let take mges = if all then mges else
+          match mges with [] -> [] | e :: _ -> [ e ] in
+      match choice with
+      | Hand ->
+        (match Parser.hand_ontology_of doc with
+         | None ->
+           Error (`Missing_input "no hand ontology in document (ext items)")
+         | Some o ->
+           with_engine ~domains ~instance:wn.Whynot.instance @@ fun engine ->
+           let* mges = Engine.all_mges_finite engine o wn in
+           mges_result ~ontology_name:"hand" ~domains o (take mges))
+      | Obda ->
+        let* obda = Parser.obda_spec_of doc in
+        (match obda with
+         | None -> Error (`Missing_input "no OBDA specification in document")
+         | Some spec ->
+           let induced =
+             Whynot_obda.Induced.prepare spec wn.Whynot.instance
+           in
+           (match Whynot_obda.Induced.consistent induced with
+            | Ok () -> ()
+            | Error msg ->
+              Format.eprintf
+                "warning: retrieved assertions inconsistent: %s@." msg);
+           let o = Ontology.of_obda induced in
+           with_engine ~domains ~instance:wn.Whynot.instance @@ fun engine ->
+           let* mges = Engine.all_mges_finite engine o wn in
+           mges_result ~ontology_name:"O_B" ~domains o (take mges))
+      | From_instance ->
+        let variant =
+          if selections then Incremental.With_selections
+          else Incremental.Selection_free
+        in
+        with_engine ~domains ~instance:wn.Whynot.instance @@ fun engine ->
+        let* e = Engine.one_mge ~variant engine wn in
+        let o = Ontology.of_instance wn.Whynot.instance in
+        Ok
+          ( Json.Obj
+              [
+                ("ontology", Json.String "O_I");
+                ("domains", Json.Int domains);
+                ("count", Json.Int 1);
+                ("mges", Json.List [ json_of_explanation o e ]);
+              ],
+            0 )
+      | From_schema ->
+        let* schema = Parser.schema_of doc in
+        with_engine ~schema ~domains ~instance:wn.Whynot.instance
+        @@ fun engine ->
+        let* mges = Engine.all_mges_schema ~fragment:`Minimal engine wn in
+        let o = Schema_mge.ontology `Minimal schema wn in
+        mges_result ~ontology_name:"O_S[K]-min" ~domains o (take mges)
+    in
+    dump_stats stats;
+    code
+  in
   let choice =
     Arg.(value & opt ontology_conv From_instance
          & info [ "o"; "ontology" ]
@@ -174,15 +289,15 @@ let explain_cmd =
   let all =
     Arg.(value & flag
          & info [ "all" ]
-             ~doc:"With finite ontologies: print every most-general \
+             ~doc:"With finite ontologies: report every most-general \
                    explanation instead of one.")
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Compute most-general explanation(s) for the document's why-not \
-             question.")
-    Term.(const run $ path $ choice $ selections $ all $ verbose_arg
-          $ stats_arg)
+             question. Exits 1 when no explanation exists.")
+    Term.(const run $ path_arg $ choice $ selections $ all $ domains_arg
+          $ verbose_arg $ stats_arg)
 
 (* --- subsume --- *)
 
@@ -193,25 +308,39 @@ type wrt =
 let subsume_cmd =
   let run path wrt c1_src c2_src verbose stats =
     setup_logs verbose;
-    let doc = or_die (load path) in
-    let parse src =
-      or_die (msg_of_string (Whynot_text.Parser.concept_of_string doc src))
+    let code =
+      wrap "subsume" @@ fun () ->
+      let* doc = Parser.parse_file path in
+      let* c1 = Parser.concept_of_string doc c1_src in
+      let* c2 = Parser.concept_of_string doc c2_src in
+      let* schema = Parser.schema_of doc in
+      let inst = Parser.instance_of doc in
+      let pp_c = Whynot_concept.Ls.pp ~schema () in
+      let str_c c = Format.asprintf "%a" pp_c c in
+      let wrt_name, verdict =
+        match wrt with
+        | Wrt_instance ->
+          ( "instance",
+            Json.Bool (Whynot_concept.Subsume_inst.subsumes inst c1 c2) )
+        | Wrt_schema ->
+          ( "schema",
+            Json.String
+              (Format.asprintf "%a" Whynot_concept.Subsume_schema.pp_verdict
+                 (Whynot_concept.Subsume_schema.decide schema c1 c2)) )
+      in
+      Ok
+        ( Json.Obj
+            [
+              ("c1", Json.String (str_c c1));
+              ("c2", Json.String (str_c c2));
+              ("wrt", Json.String wrt_name);
+              ("verdict", verdict);
+            ],
+          0 )
     in
-    let c1 = parse c1_src and c2 = parse c2_src in
-    let schema = or_die (msg_of_string (Whynot_text.Parser.schema_of doc)) in
-    let inst = Whynot_text.Parser.instance_of doc in
-    let pp_c = Whynot_concept.Ls.pp ~schema () in
-    (match wrt with
-     | Wrt_instance ->
-       Format.printf "%a <=I %a : %b@." pp_c c1 pp_c c2
-         (Whynot_concept.Subsume_inst.subsumes inst c1 c2)
-     | Wrt_schema ->
-       Format.printf "%a <=S %a : %a@." pp_c c1 pp_c c2
-         Whynot_concept.Subsume_schema.pp_verdict
-         (Whynot_concept.Subsume_schema.decide schema c1 c2));
-    dump_stats stats
+    dump_stats stats;
+    code
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let c1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"CONCEPT1") in
   let c2 = Arg.(required & pos 2 (some string) None & info [] ~docv:"CONCEPT2") in
   let wrt =
@@ -226,35 +355,39 @@ let subsume_cmd =
     (Cmd.info "subsume"
        ~doc:"Decide concept subsumption, e.g. \
              'Cities.name[continent = \"Europe\"]' 'Cities.name'.")
-    Term.(const run $ path $ wrt $ c1 $ c2 $ verbose_arg $ stats_arg)
+    Term.(const run $ path_arg $ wrt $ c1 $ c2 $ verbose_arg $ stats_arg)
 
 (* --- why (the dual problem) --- *)
 
 let why_cmd =
-  let run path tuple_src selections stats =
-    let doc = or_die (load path) in
-    let witness =
-      or_die (msg_of_string (Whynot_text.Parser.values_of_string tuple_src))
+  let run path tuple_src selections domains stats =
+    let code =
+      wrap "why" @@ fun () ->
+      let* doc = Parser.parse_file path in
+      let* witness = Parser.values_of_string tuple_src in
+      match doc.Parser.query with
+      | None -> Error (`Missing_input "no query in document")
+      | Some (_, q) ->
+        let inst = Parser.instance_of doc in
+        let* why = Why.make ~instance:inst ~query:q ~witness () in
+        let variant =
+          if selections then Incremental.With_selections
+          else Incremental.Selection_free
+        in
+        let e = Why.one_mge ~variant why in
+        let o = Ontology.of_instance inst in
+        Ok
+          ( Json.Obj
+              [
+                ("witness", Json.List (List.map json_of_value witness));
+                ("domains", Json.Int domains);
+                ("explanation", json_of_explanation o e);
+              ],
+            0 )
     in
-    match doc.Whynot_text.Parser.query with
-    | None -> or_die (Error (`Msg "no query in document"))
-    | Some (_, q) ->
-      let inst = Whynot_text.Parser.instance_of doc in
-      let why =
-        or_die
-          (msg_of_string (Why.make ~instance:inst ~query:q ~witness ()))
-      in
-      let variant =
-        if selections then Incremental.With_selections
-        else Incremental.Selection_free
-      in
-      let e = Why.one_mge ~variant why in
-      let o = Ontology.of_instance inst in
-      Format.printf "most-general WHY explanation w.r.t. O_I: %a@."
-        (Explanation.pp o) e;
-      dump_stats stats
+    dump_stats stats;
+    code
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let tuple =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"TUPLE" ~doc:"e.g. '\"Amsterdam\", \"Rome\"'")
@@ -265,92 +398,102 @@ let why_cmd =
   Cmd.v
     (Cmd.info "why"
        ~doc:"Explain why a tuple IS an answer (the dual problem, §7).")
-    Term.(const run $ path $ tuple $ selections $ stats_arg)
+    Term.(const run $ path_arg $ tuple $ selections $ domains_arg $ stats_arg)
 
 (* --- provenance --- *)
 
 let provenance_cmd =
   let run path tuple_src =
-    let doc = or_die (load path) in
-    let values =
-      or_die (msg_of_string (Whynot_text.Parser.values_of_string tuple_src))
-    in
-    match doc.Whynot_text.Parser.query with
-    | None -> or_die (Error (`Msg "no query in document"))
+    wrap "provenance" @@ fun () ->
+    let* doc = Parser.parse_file path in
+    let* values = Parser.values_of_string tuple_src in
+    match doc.Parser.query with
+    | None -> Error (`Missing_input "no query in document")
     | Some (name, q) ->
-      let inst = Whynot_text.Parser.instance_of doc in
+      let inst = Parser.instance_of doc in
       let tuple = Tuple.of_list values in
       let ws = Provenance.witnesses q inst tuple in
-      if ws = [] then
-        Format.printf "%a is NOT an answer of %s — ask `explain` instead@."
-          Tuple.pp tuple name
-      else
-        List.iteri
-          (fun i w ->
-             Format.printf "witness %d:@." (i + 1);
-             List.iter
-               (fun (rel, t) -> Format.printf "  %s%a@." rel Tuple.pp t)
-               w.Provenance.facts;
-             (* When the supporting facts are view tuples, also show one
-                derivation down to the base facts. *)
-             let schema =
-               Result.to_option (Whynot_text.Parser.schema_of doc)
-             in
-             match schema with
-             | None -> ()
-             | Some schema ->
-               let views = Schema.views schema in
-               List.iter
-                 (fun (rel, t) ->
+      let schema = Result.to_option (Parser.schema_of doc) in
+      let witness_json w =
+        Json.List
+          (List.map
+             (fun (rel, t) ->
+                let base =
+                  [ ("relation", Json.String rel); ("tuple", json_of_tuple t) ]
+                in
+                let derivation =
+                  match schema with
+                  | None -> []
+                  | Some schema ->
+                    let views = Schema.views schema in
                     if View.is_view views rel then
                       match Provenance.derive_one views inst rel t with
                       | Some d ->
-                        Format.printf "  derivation:@.    %a@."
-                          Provenance.pp_derivation d
-                      | None -> ())
-                 w.Provenance.facts)
-          ws
+                        [ ( "derivation",
+                            Json.String
+                              (Format.asprintf "%a" Provenance.pp_derivation d)
+                          ) ]
+                      | None -> []
+                    else []
+                in
+                Json.Obj (base @ derivation))
+             w.Provenance.facts)
+      in
+      Ok
+        ( Json.Obj
+            [
+              ("query", Json.String name);
+              ("tuple", Json.List (List.map json_of_value values));
+              ("is_answer", Json.Bool (ws <> []));
+              ("witnesses", Json.List (List.map witness_json ws));
+            ],
+          if ws = [] then 1 else 0 )
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let tuple =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"TUPLE")
   in
   Cmd.v
     (Cmd.info "provenance"
        ~doc:"Show why-provenance (witnesses and derivations) for a tuple \
-             that IS an answer.")
-    Term.(const run $ path $ tuple)
+             that IS an answer. Exits 1 when it is not an answer.")
+    Term.(const run $ path_arg $ tuple)
 
 (* --- eval (Datalog rules) --- *)
 
 let eval_cmd =
   let run path =
-    let doc = or_die (load path) in
-    match or_die (msg_of_string (Whynot_text.Parser.program_of doc)) with
-    | None -> or_die (Error (`Msg "no rule items in document"))
+    wrap "eval" @@ fun () ->
+    let* doc = Parser.parse_file path in
+    let* prog = Parser.program_of doc in
+    match prog with
+    | None -> Error (`Missing_input "no rule items in document")
     | Some prog ->
-      let inst = Whynot_text.Parser.instance_of doc in
+      let inst = Parser.instance_of doc in
       let out = Whynot_datalog.Program.eval prog inst in
-      List.iter
-        (fun p ->
-           match Instance.relation out p with
-           | None -> ()
-           | Some r ->
-             Format.printf "%s (%d tuple(s)):@." p (Relation.cardinal r);
-             Relation.iter (fun t -> Format.printf "  %a@." Tuple.pp t) r)
-        (Whynot_datalog.Program.idb_predicates prog)
+      let relations =
+        List.filter_map
+          (fun p ->
+             match Instance.relation out p with
+             | None -> None
+             | Some r ->
+               let tuples = ref [] in
+               Relation.iter (fun t -> tuples := json_of_tuple t :: !tuples) r;
+               Some (p, Json.List (List.rev !tuples)))
+          (Whynot_datalog.Program.idb_predicates prog)
+      in
+      Ok (Json.Obj [ ("relations", Json.Obj relations) ], 0)
   in
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Evaluate the document's Datalog rules (semi-naive, stratified \
              negation) and print the derived relations.")
-    Term.(const run $ path)
+    Term.(const run $ path_arg)
 
 let main =
   Cmd.group
-    (Cmd.info "whynot" ~version:"1.0.0"
+    (Cmd.info "whynot" ~version:"2.0.0"
        ~doc:"High-level why-not explanations using ontologies (PODS 2015).")
-    [ check_cmd; answers_cmd; explain_cmd; subsume_cmd; why_cmd; provenance_cmd; eval_cmd ]
+    [ check_cmd; answers_cmd; explain_cmd; subsume_cmd; why_cmd;
+      provenance_cmd; eval_cmd ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

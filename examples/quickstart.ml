@@ -58,13 +58,13 @@ let () =
        Format.printf "%s = %a : explanation? %b  most general? %b@." name
          (Explanation.pp ontology) e
          (Explanation.is_explanation ontology wn e)
-         (Exhaustive.check_mge ontology wn e))
+         (Exhaustive.check_mge_exn ontology wn e))
     named;
 
   section "All most-general explanations (Algorithm 1)";
   List.iter
     (fun e -> Format.printf "MGE: %a@." (Explanation.pp ontology) e)
-    (Exhaustive.all_mges ontology wn);
+    (Exhaustive.all_mges_exn ontology wn);
   Format.printf
     "@.The most general of E1..E4 is E4: Amsterdam is a European city,@.\
      New York is a US city, and no European city reaches a US city in@.\

@@ -71,15 +71,23 @@ let intern_table : t Intern.t = Intern.create 1024
 let next_id = ref 0
 let interned = Whynot_obs.Obs.counter "ls.interned" ~doc:"distinct hash-consed L_S concepts"
 
+(* The table is process-global on purpose: ids must stay unique across
+   domains so that the parallel engine can merge id-keyed memo caches
+   soundly. Interning is therefore serialised; the critical section is a
+   hash probe, far cheaper than the extension/subsumption work the ids
+   key. *)
+let intern_lock = Mutex.create ()
+
 let intern conjs =
-  match Intern.find_opt intern_table conjs with
-  | Some t -> t
-  | None ->
-    let t = { id = !next_id; conjs } in
-    Stdlib.incr next_id;
-    Whynot_obs.Obs.incr interned;
-    Intern.add intern_table conjs t;
-    t
+  Mutex.protect intern_lock (fun () ->
+      match Intern.find_opt intern_table conjs with
+      | Some t -> t
+      | None ->
+        let t = { id = !next_id; conjs } in
+        Stdlib.incr next_id;
+        Whynot_obs.Obs.incr interned;
+        Intern.add intern_table conjs t;
+        t)
 
 let of_conjuncts cs =
   intern (List.sort_uniq Stdlib.compare (List.map normalise_conjunct cs))

@@ -12,9 +12,12 @@ let tag_selection_free = 0
 let tag_sigma_pruned = 1
 let tag_sigma_unpruned = 2
 
-let lub inst x =
+let handle_of handle inst =
+  match handle with Some h -> h | None -> Subsume_memo.inst inst
+
+let lub ?handle inst x =
   if Value_set.is_empty x then invalid_arg "Lub.lub: empty constant set";
-  let h = Subsume_memo.inst inst in
+  let h = handle_of handle inst in
   Subsume_memo.memo_lub h ~tag:tag_selection_free x (fun () ->
       let projections =
         List.filter_map
@@ -60,12 +63,13 @@ let sels_of_intervals per_attr =
          itvs)
     per_attr
 
-let conjunct_ext_set inst c =
-  match Subsume_memo.conjunct_ext (Subsume_memo.inst inst) c with
+let conjunct_ext_set h c =
+  match Subsume_memo.conjunct_ext h c with
   | Semantics.All -> assert false (* Proj/Nominal extensions are finite *)
   | Semantics.Fin s -> s
 
-let atomic_selection_candidates ?(prune = true) inst ~rel ~attr x =
+let atomic_selection_candidates ?(prune = true) ?handle inst ~rel ~attr x =
+  let h = handle_of handle inst in
   match Instance.relation inst rel with
   | None -> []
   | Some r ->
@@ -119,7 +123,7 @@ let atomic_selection_candidates ?(prune = true) inst ~rel ~attr x =
         List.map
           (fun sels ->
              let c = Ls.Proj { rel; attr; sels } in
-             (c, conjunct_ext_set inst c))
+             (c, conjunct_ext_set h c))
           valid_sels
       in
       (* Keep the subset-minimal extensions (their meet equals the meet of
@@ -146,15 +150,15 @@ let atomic_selection_candidates ?(prune = true) inst ~rel ~attr x =
       in
       List.map fst deduped
 
-let lub_sigma ?(prune = true) inst x =
+let lub_sigma ?(prune = true) ?handle inst x =
   if Value_set.is_empty x then invalid_arg "Lub.lub_sigma: empty constant set";
-  let h = Subsume_memo.inst inst in
+  let h = handle_of handle inst in
   let tag = if prune then tag_sigma_pruned else tag_sigma_unpruned in
   Subsume_memo.memo_lub h ~tag x (fun () ->
       let candidates =
         List.concat_map
           (fun (rel, attr) ->
-             atomic_selection_candidates ~prune inst ~rel ~attr x)
+             atomic_selection_candidates ~prune ~handle:h inst ~rel ~attr x)
           (Subsume_memo.positions h)
       in
       Ls.of_conjuncts (nominal_conjuncts x @ candidates))

@@ -37,6 +37,14 @@ let c_handles_schema =
 let c_flushes =
   Obs.counter "memo.flushes" ~doc:"registry flushes (cap reached or clear)"
 
+let c_merges =
+  Obs.counter "memo.merges"
+    ~doc:"per-domain handle caches merged back into a shared handle"
+
+let c_merged_entries =
+  Obs.counter "memo.merged_entries"
+    ~doc:"cache entries copied during handle merges"
+
 (* --- key modules --- *)
 
 module Conj_tbl = Hashtbl.Make (struct
@@ -104,33 +112,44 @@ let max_handles = 64
 let inst_registry : inst Inst_reg.t = Inst_reg.create 64
 let schema_registry : schema_handle Schema_reg.t = Schema_reg.create 16
 
+(* Registry probes are cheap and rare (once per algorithm run), so one
+   lock guards both registries. Handles themselves stay single-domain:
+   the parallel engine gives each worker a {!private_inst} and merges it
+   back with {!absorb_inst} after the join. *)
+let registry_lock = Mutex.create ()
+
 let clear () =
-  Obs.incr c_flushes;
-  Inst_reg.reset inst_registry;
-  Schema_reg.reset schema_registry
+  Mutex.protect registry_lock (fun () ->
+      Obs.incr c_flushes;
+      Inst_reg.reset inst_registry;
+      Schema_reg.reset schema_registry)
+
+let fresh_inst instance =
+  Obs.incr c_handles_inst;
+  {
+    instance;
+    conj_exts = Conj_tbl.create 64;
+    exts = Int_tbl.create 64;
+    verdicts = Pair_tbl.create 64;
+    columns = Hashtbl.create 16;
+    positions = None;
+    lubs = Lub_tbl.create 64;
+  }
 
 let inst instance =
-  match Inst_reg.find_opt inst_registry instance with
-  | Some h -> h
-  | None ->
-    if Inst_reg.length inst_registry >= max_handles then begin
-      Obs.incr c_flushes;
-      Inst_reg.reset inst_registry
-    end;
-    let h =
-      {
-        instance;
-        conj_exts = Conj_tbl.create 64;
-        exts = Int_tbl.create 64;
-        verdicts = Pair_tbl.create 64;
-        columns = Hashtbl.create 16;
-        positions = None;
-        lubs = Lub_tbl.create 64;
-      }
-    in
-    Obs.incr c_handles_inst;
-    Inst_reg.add inst_registry instance h;
-    h
+  Mutex.protect registry_lock (fun () ->
+      match Inst_reg.find_opt inst_registry instance with
+      | Some h -> h
+      | None ->
+        if Inst_reg.length inst_registry >= max_handles then begin
+          Obs.incr c_flushes;
+          Inst_reg.reset inst_registry
+        end;
+        let h = fresh_inst instance in
+        Inst_reg.add inst_registry instance h;
+        h)
+
+let private_inst instance = fresh_inst instance
 
 let instance h = h.instance
 
@@ -211,29 +230,104 @@ let memo_lub h ~tag x compute =
     Lub_tbl.add h.lubs key c;
     c
 
+(* --- merging per-domain handles --- *)
+
+let merge_tbl ~iter ~mem ~addf src =
+  let copied = ref 0 in
+  iter
+    (fun k v ->
+       if not (mem k) then begin
+         addf k v;
+         Stdlib.incr copied
+       end)
+    src;
+  !copied
+
+let absorb_inst ~into src =
+  if not (into.instance == src.instance) then
+    invalid_arg "Subsume_memo.absorb_inst: handles for different instances";
+  if into == src then ()
+  else begin
+    Obs.incr c_merges;
+    let n = ref 0 in
+    n := !n + merge_tbl
+        ~iter:Conj_tbl.iter
+        ~mem:(Conj_tbl.mem into.conj_exts)
+        ~addf:(Conj_tbl.add into.conj_exts)
+        src.conj_exts;
+    n := !n + merge_tbl
+        ~iter:Int_tbl.iter
+        ~mem:(Int_tbl.mem into.exts)
+        ~addf:(Int_tbl.add into.exts)
+        src.exts;
+    n := !n + merge_tbl
+        ~iter:Pair_tbl.iter
+        ~mem:(Pair_tbl.mem into.verdicts)
+        ~addf:(Pair_tbl.add into.verdicts)
+        src.verdicts;
+    n := !n + merge_tbl
+        ~iter:Hashtbl.iter
+        ~mem:(Hashtbl.mem into.columns)
+        ~addf:(Hashtbl.add into.columns)
+        src.columns;
+    n := !n + merge_tbl
+        ~iter:Lub_tbl.iter
+        ~mem:(Lub_tbl.mem into.lubs)
+        ~addf:(Lub_tbl.add into.lubs)
+        src.lubs;
+    (match into.positions, src.positions with
+     | None, (Some _ as ps) -> into.positions <- ps
+     | _ -> ());
+    Obs.add c_merged_entries !n
+  end
+
 (* --- per-schema handles --- *)
 
 type schema = schema_handle
 
+let fresh_schema sschema =
+  Obs.incr c_handles_schema;
+  {
+    sschema;
+    cls = Subsume_schema.classify sschema;
+    sverdicts = Pair_tbl.create 64;
+    ucqs = Int_tbl.create 64;
+  }
+
 let schema sschema =
-  match Schema_reg.find_opt schema_registry sschema with
-  | Some h -> h
-  | None ->
-    if Schema_reg.length schema_registry >= max_handles then begin
-      Obs.incr c_flushes;
-      Schema_reg.reset schema_registry
-    end;
-    let h =
-      {
-        sschema;
-        cls = Subsume_schema.classify sschema;
-        sverdicts = Pair_tbl.create 64;
-        ucqs = Int_tbl.create 64;
-      }
-    in
-    Obs.incr c_handles_schema;
-    Schema_reg.add schema_registry sschema h;
-    h
+  Mutex.protect registry_lock (fun () ->
+      match Schema_reg.find_opt schema_registry sschema with
+      | Some h -> h
+      | None ->
+        if Schema_reg.length schema_registry >= max_handles then begin
+          Obs.incr c_flushes;
+          Schema_reg.reset schema_registry
+        end;
+        let h = fresh_schema sschema in
+        Schema_reg.add schema_registry sschema h;
+        h)
+
+let private_schema sschema = fresh_schema sschema
+
+let absorb_schema ~into src =
+  if not (into.sschema == src.sschema) then
+    invalid_arg "Subsume_memo.absorb_schema: handles for different schemas";
+  if into == src then ()
+  else begin
+    Obs.incr c_merges;
+    let n = ref 0 in
+    n := !n + merge_tbl
+        ~iter:Pair_tbl.iter
+        ~mem:(Pair_tbl.mem into.sverdicts)
+        ~addf:(Pair_tbl.add into.sverdicts)
+        src.sverdicts;
+    n := !n + merge_tbl
+        ~iter:Int_tbl.iter
+        ~mem:(Int_tbl.mem into.ucqs)
+        ~addf:(Int_tbl.add into.ucqs)
+        src.ucqs;
+    Obs.add c_merged_entries !n
+  end
 
 let schema_of h = h.sschema
 let constraint_class h = h.cls

@@ -38,6 +38,19 @@ val inst : Instance.t -> inst
 (** The handle for this instance — interned, so repeated calls with the
     same instance value share one cache. *)
 
+val private_inst : Instance.t -> inst
+(** A fresh, unregistered handle for this instance. The parallel engine
+    gives each worker domain its own private handle (handles are not
+    thread-safe) and merges the caches back with {!absorb_inst} once the
+    domains join. *)
+
+val absorb_inst : into:inst -> inst -> unit
+(** [absorb_inst ~into src] copies every cache entry of [src] that [into]
+    does not already have (verdicts, extensions, lubs, columns). Both
+    handles must wrap the same physical instance; entries are keyed on
+    process-global hash-consed ids, so merged verdicts stay sound.
+    @raise Invalid_argument when the instances differ. *)
+
 val instance : inst -> Instance.t
 (** The instance the handle was built from. *)
 
@@ -73,6 +86,15 @@ type schema
 
 val schema : Schema.t -> schema
 (** The handle for this schema — interned like {!inst}. *)
+
+val private_schema : Schema.t -> schema
+(** A fresh, unregistered schema handle — the schema-level counterpart of
+    {!private_inst}. *)
+
+val absorb_schema : into:schema -> schema -> unit
+(** Merge a private schema handle's verdict and translation caches back
+    into a shared one. Both handles must wrap the same physical schema.
+    @raise Invalid_argument when the schemas differ. *)
 
 val schema_of : schema -> Schema.t
 (** The schema the handle was built from. *)

@@ -130,11 +130,12 @@ let always_within_singleton ~fd_filter ~translate schema c1 v =
 
 (* --- bounded counter-model search --- *)
 
-let fresh_counter = ref 0
+(* Atomic so concurrent chases in different domains never hand out the
+   same fresh null. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_value () =
-  decr fresh_counter;
-  Value.Int (-1000000000 + !fresh_counter)
+  Value.Int (-1000000000 - Atomic.fetch_and_add fresh_counter 1 - 1)
 
 (* One chase round: repair every IND violation whose right-hand relation is
    a data relation by inserting a tuple with fresh values at unmapped

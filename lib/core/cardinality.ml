@@ -16,7 +16,7 @@ let degree o wn e =
   Some (List.fold_left (fun acc c -> acc + concept_degree o pool c) 0 e)
 
 (* Candidate concepts per position with kill-sets and degrees. *)
-let prepared o wn =
+let prepared_exn o wn =
   let cs =
     match o.Ontology.concepts with
     | Some cs -> cs
@@ -59,8 +59,8 @@ let suffix_reach per_position =
 let all_answers wn =
   Int_set.of_list (List.init (Relation.cardinal wn.Whynot.answers) (fun i -> i))
 
-let maximal o wn =
-  let per_position = prepared o wn in
+let maximal_exn o wn =
+  let per_position = prepared_exn o wn in
   if List.exists (fun cands -> cands = []) per_position then None
   else
     let all = all_answers wn in
@@ -111,8 +111,8 @@ let maximal o wn =
     search Int_set.empty 0 [] per_position reaches suffix_max_degree;
     !best
 
-let greedy o wn =
-  let per_position = prepared o wn in
+let greedy_exn o wn =
+  let per_position = prepared_exn o wn in
   if List.exists (fun cands -> cands = []) per_position then None
   else
     let all = all_answers wn in
@@ -144,9 +144,23 @@ let greedy o wn =
     in
     choose Int_set.empty [] per_position reaches
 
-let ranked o wn =
+let ranked_exn o wn =
   let pool = pool_list wn in
-  Exhaustive.all_mges o wn
+  Exhaustive.all_mges_exn o wn
   |> List.map (fun e ->
       (e, List.fold_left (fun acc c -> acc + concept_degree o pool c) 0 e))
   |> List.sort (fun (_, d1) (_, d2) -> Stdlib.compare d2 d1)
+
+(* --- result-returning public surface --- *)
+
+let finite o k =
+  match o.Ontology.concepts with
+  | Some _ -> k ()
+  | None ->
+    Error
+      (`Infinite_ontology
+         ("Cardinality: ontology " ^ o.Ontology.name ^ " is not finite"))
+
+let maximal o wn = finite o (fun () -> Ok (maximal_exn o wn))
+let greedy o wn = finite o (fun () -> Ok (greedy_exn o wn))
+let ranked o wn = finite o (fun () -> Ok (ranked_exn o wn))

@@ -12,17 +12,32 @@ val degree : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> int option
     derived ontology); finite ontologies always yield [Some]. The degree
     counts extension members among the why-not instance's constant pool. *)
 
-val maximal : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
+val maximal :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t option, Whynot_error.t) result
 (** An exact [>card]-maximal explanation (branch-and-bound over the finite
-    ontology; exponential in general). [None] when no explanation exists. *)
+    ontology; exponential in general). [Ok None] when no explanation
+    exists; [`Infinite_ontology] when the ontology is infinite. *)
 
-val greedy : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
+val greedy :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t option, Whynot_error.t) result
 (** Greedy heuristic: pick per position the candidate with the largest
     extension that keeps the partial tuple completable, then locally
     improve. Polynomial; no approximation guarantee exists unless P=NP. *)
 
 val ranked :
-  'c Ontology.t -> Whynot.t -> ('c Explanation.t * int) list
+  'c Ontology.t ->
+  Whynot.t ->
+  (('c Explanation.t * int) list, Whynot_error.t) result
 (** Every most-general explanation paired with its degree of generality,
     sorted by decreasing degree — the bridge between the two preference
     orders of §6: the ⊑-maximal explanations, ranked by cardinality. *)
+
+(** {1 Raising variants}
+
+    @deprecated Prefer the result-returning functions above; these raise
+    [Invalid_argument] on infinite ontologies. *)
+
+val maximal_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
+val greedy_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
+val ranked_exn :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t * int) list

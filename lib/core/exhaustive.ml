@@ -83,7 +83,7 @@ let keep_most_general o explanations =
     [] maximal
   |> List.rev
 
-let all_mges_unpruned o wn =
+let all_mges_unpruned_exn o wn =
   keep_most_general o (enumerate_explanations o wn (candidates o wn))
 
 (* Preprocessing for the pruned variant: per position, drop a candidate
@@ -108,14 +108,14 @@ let prune_candidates o wn per_position =
        List.map fst (List.filter (fun ck -> not (dominated ck)) with_kills))
     per_position
 
-let all_mges o wn =
+let all_mges_exn o wn =
   let per_position = prune_candidates o wn (candidates o wn) in
   keep_most_general o (enumerate_explanations o wn per_position)
 
 (* Existence: backtracking over positions accumulating killed answers, with
    the pruning rule that the remaining positions must be able to cover the
    still-alive answers. *)
-let exists_explanation o wn =
+let exists_explanation_exn o wn =
   let per_position = candidates o wn in
   if List.length per_position <> Whynot.arity wn then false
   else if List.exists (fun cands -> cands = []) per_position then false
@@ -184,19 +184,19 @@ let upgrade_once o wn e =
   in
   try_positions [] e
 
-let rec generalise o wn e =
+let rec generalise_exn o wn e =
   if not (Explanation.is_explanation o wn e) then
     invalid_arg "Exhaustive.generalise: not an explanation";
   match upgrade_once o wn e with
   | None -> e
-  | Some e' -> generalise o wn e'
+  | Some e' -> generalise_exn o wn e'
 
-let is_most_general o wn e = upgrade_once o wn e = None
+let is_most_general_exn o wn e = upgrade_once o wn e = None
 
-let check_mge o wn e =
-  Explanation.is_explanation o wn e && is_most_general o wn e
+let check_mge_exn o wn e =
+  Explanation.is_explanation o wn e && is_most_general_exn o wn e
 
-let one_mge o wn =
+let one_mge_exn o wn =
   (* Find any explanation via the existence search, then climb. *)
   let per_position = candidates o wn in
   if List.exists (fun cands -> cands = []) per_position then None
@@ -220,11 +220,11 @@ let one_mge o wn =
              | None -> search (Int_set.union killed ks) (c :: chosen) rest)
           None options
     in
-    Option.map (generalise o wn) (search Int_set.empty [] with_kills)
+    Option.map (generalise_exn o wn) (search Int_set.empty [] with_kills)
 
 (* --- lazy enumeration --- *)
 
-let explanations_seq o wn =
+let explanations_seq_exn o wn =
   let per_position = candidates o wn in
   let n_answers = Relation.cardinal wn.Whynot.answers in
   let all = Int_set.of_list (List.init n_answers (fun i -> i)) in
@@ -250,13 +250,78 @@ let explanations_seq o wn =
   if List.length per_position <> Whynot.arity wn then Seq.empty
   else seq Int_set.empty [] with_kills
 
-let mges_seq o wn =
+let mges_seq_exn o wn =
   let seen = ref [] in
-  explanations_seq o wn
-  |> Seq.filter (fun e -> is_most_general o wn e)
+  explanations_seq_exn o wn
+  |> Seq.filter (fun e -> is_most_general_exn o wn e)
   |> Seq.filter (fun e ->
       if List.exists (fun e' -> Explanation.equivalent o e e') !seen then false
       else begin
         seen := e :: !seen;
         true
       end)
+
+(* --- result-returning public surface --- *)
+
+let finite o k =
+  match o.Ontology.concepts with
+  | Some _ -> k ()
+  | None ->
+    Error
+      (`Infinite_ontology
+         ("Exhaustive: ontology " ^ o.Ontology.name ^ " is not finite"))
+
+let all_mges o wn = finite o (fun () -> Ok (all_mges_exn o wn))
+let all_mges_unpruned o wn = finite o (fun () -> Ok (all_mges_unpruned_exn o wn))
+let exists_explanation o wn = finite o (fun () -> Ok (exists_explanation_exn o wn))
+let one_mge o wn = finite o (fun () -> Ok (one_mge_exn o wn))
+let check_mge o wn e = finite o (fun () -> Ok (check_mge_exn o wn e))
+let is_most_general o wn e = finite o (fun () -> Ok (is_most_general_exn o wn e))
+
+let generalise o wn e =
+  finite o (fun () ->
+      if Explanation.is_explanation o wn e then Ok (generalise_exn o wn e)
+      else
+        Error (`Not_an_explanation "Exhaustive.generalise: not an explanation"))
+
+let explanations_seq o wn = finite o (fun () -> Ok (explanations_seq_exn o wn))
+let mges_seq o wn = finite o (fun () -> Ok (mges_seq_exn o wn))
+
+(* --- the exploration plan shared with Whynot_parallel --- *)
+
+module Plan = struct
+  type 'c position = {
+    candidates : ('c * Int_set.t) array;  (* candidate, kill-set *)
+  }
+
+  type 'c t = {
+    ontology : 'c Ontology.t;
+    whynot : Whynot.t;
+    all_answers : Int_set.t;
+    positions : 'c position array;
+  }
+
+  let prepare ?(prune = true) o wn =
+    finite o (fun () ->
+        let per_position = candidates o wn in
+        let per_position =
+          if prune then prune_candidates o wn per_position else per_position
+        in
+        let n_answers = Relation.cardinal wn.Whynot.answers in
+        let all = Int_set.of_list (List.init n_answers (fun i -> i)) in
+        let positions =
+          Array.of_list
+            (List.mapi
+               (fun pos cands ->
+                  {
+                    candidates =
+                      Array.of_list
+                        (List.map
+                           (fun c ->
+                              (c, Int_set.of_list (kill_set o wn pos c)))
+                           cands);
+                  })
+               per_position)
+        in
+        Ok { ontology = o; whynot = wn; all_answers = all; positions })
+end

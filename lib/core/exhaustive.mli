@@ -13,44 +13,60 @@
     - {!one_mge}: any one most-general explanation, by greedily climbing
       the subsumption order from any explanation found.
 
-    All functions
-    @raise Invalid_argument when the ontology is infinite. *)
+    Every operation comes in two flavours: the plain name returns
+    [(_, Whynot_error.t) result] and fails with [`Infinite_ontology] when
+    the ontology does not enumerate its concepts; the [*_exn] variant is
+    the raising original, kept for internal callers.
 
-val all_mges : 'c Ontology.t -> Whynot.t -> 'c Explanation.t list
+    The {!Whynot.Engine} facade runs these over a domain pool — see
+    [Whynot_parallel.Par_exhaustive], which shares {!Plan} with this
+    module so the parallel result provably coincides with the sequential
+    one. *)
+
+val all_mges :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t list, Whynot_error.t) result
 (** The literal Algorithm 1: generate every candidate per-position tuple
     whose extensions cover the missing tuple and miss the answers, then
     discard the non-maximal ones. Returns all MGEs modulo equivalence (the
     paper keeps equivalent copies; we keep one representative of each
     equivalence class). *)
 
-val all_mges_unpruned : 'c Ontology.t -> Whynot.t -> 'c Explanation.t list
+val all_mges_unpruned :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t list, Whynot_error.t) result
 (** The same, but without the candidate-deduplication preprocessing — the
     baseline for the D3 ablation benchmark. *)
 
-val exists_explanation : 'c Ontology.t -> Whynot.t -> bool
+val exists_explanation :
+  'c Ontology.t -> Whynot.t -> (bool, Whynot_error.t) result
 (** EXISTENCE-OF-EXPLANATION: is there {e any} explanation w.r.t. this
     ontology? Backtracking over positions with a coverage pruning rule —
     it never builds the candidate product, so a positive answer can be
     much cheaper than {!all_mges}. *)
 
-val one_mge : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
-(** One most-general explanation, or [None] when none exists: find any
-    explanation as in {!exists_explanation}, then {!generalise} it. *)
+val one_mge :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t option, Whynot_error.t) result
+(** One most-general explanation, or [Ok None] when none exists: find any
+    explanation as in {!exists_explanation}, then generalise it. *)
 
-val check_mge : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool
+val check_mge :
+  'c Ontology.t -> Whynot.t -> 'c Explanation.t -> (bool, Whynot_error.t) result
 (** CHECK-MGE: is the candidate an explanation that admits no strict
     single-position upgrade? Also the post-hoc verifier for the output
     of Algorithm 2 in the differential property tests. *)
 
 val is_most_general :
-  'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool
+  'c Ontology.t -> Whynot.t -> 'c Explanation.t -> (bool, Whynot_error.t) result
 (** Like {!check_mge} but assumes the argument is already known to be an
     explanation. *)
 
-val generalise : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> 'c Explanation.t
+val generalise :
+  'c Ontology.t ->
+  Whynot.t ->
+  'c Explanation.t ->
+  ('c Explanation.t, Whynot_error.t) result
 (** Climb: repeatedly upgrade single positions to strictly more general
     concepts while remaining an explanation; the result is most general.
-    @raise Invalid_argument if the input is not an explanation. *)
+    [`Not_an_explanation] when the input is not an explanation. *)
 
 (** {1 Lazy enumeration}
 
@@ -62,10 +78,63 @@ val generalise : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> 'c Explanation
     deduplicates equivalent explanations, keeping the representatives seen
     so far in memory. *)
 
-val explanations_seq : 'c Ontology.t -> Whynot.t -> 'c Explanation.t Seq.t
+val explanations_seq :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t Seq.t, Whynot_error.t) result
 (** Every explanation, in product order. *)
 
-val mges_seq : 'c Ontology.t -> Whynot.t -> 'c Explanation.t Seq.t
+val mges_seq :
+  'c Ontology.t -> Whynot.t -> ('c Explanation.t Seq.t, Whynot_error.t) result
 (** Every most-general explanation, one representative per equivalence
     class. Forcing the whole sequence yields the same set as
     {!all_mges}. *)
+
+(** {1 Raising variants}
+
+    @deprecated Prefer the result-returning functions above (or the
+    {!Whynot.Engine} facade); these raise [Invalid_argument] when the
+    ontology is infinite and remain for internal callers that construct
+    the finite ontology themselves. *)
+
+val all_mges_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t list
+val all_mges_unpruned_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t list
+val exists_explanation_exn : 'c Ontology.t -> Whynot.t -> bool
+val one_mge_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t option
+val check_mge_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool
+val is_most_general_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t -> bool
+val generalise_exn :
+  'c Ontology.t -> Whynot.t -> 'c Explanation.t -> 'c Explanation.t
+val explanations_seq_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t Seq.t
+val mges_seq_exn : 'c Ontology.t -> Whynot.t -> 'c Explanation.t Seq.t
+
+(** {1 Shared exploration plan}
+
+    The candidate lattice in solved form: per position, the candidate
+    concepts (covering the missing value) with their kill-sets over the
+    answer tuples. Explanations are exactly the members of the candidate
+    product whose kill-sets cover every answer, so a plan reduces
+    enumeration to pure integer-set operations — the unit of work the
+    parallel engine partitions across domains. *)
+
+module Int_set : Set.S with type elt = int
+
+module Plan : sig
+  type 'c position = { candidates : ('c * Int_set.t) array }
+
+  type 'c t = {
+    ontology : 'c Ontology.t;
+    whynot : Whynot.t;
+    all_answers : Int_set.t;
+    positions : 'c position array;
+  }
+
+  val prepare :
+    ?prune:bool -> 'c Ontology.t -> Whynot.t -> ('c t, Whynot_error.t) result
+  (** Candidates, kill-sets, and (unless [prune:false]) the dominated-
+      candidate preprocessing of {!all_mges}, computed sequentially. *)
+end
+
+val keep_most_general :
+  'c Ontology.t -> 'c Explanation.t list -> 'c Explanation.t list
+(** Drop explanations strictly below another and deduplicate equivalence
+    classes, keeping the first representative in list order — exposed so
+    the parallel merge reproduces the sequential choice exactly. *)

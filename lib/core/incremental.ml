@@ -18,10 +18,6 @@ type variant =
   | Selection_free
   | With_selections
 
-let lub_of = function
-  | Selection_free -> Lub.lub
-  | With_selections -> Lub.lub_sigma ?prune:None
-
 let trivial_explanation wn =
   List.map Ls.nominal (Whynot.missing_values wn)
 
@@ -37,56 +33,123 @@ let try_top o wn e =
     e
     (List.init (List.length e) (fun i -> i))
 
+(* --- the per-step core of Algorithm 2 ---
+
+   Exposed so the sequential driver below and the speculative parallel
+   driver in [Whynot_parallel.Par_incremental] share one definition of
+   what a single absorption step means. A [ctx] carries everything an
+   evaluation needs — instance, variant, memo handle, prepared [O_I] —
+   so a worker domain can evaluate steps against its own private handle. *)
+
+module Step = struct
+  type ctx = {
+    variant : variant;
+    wn : Whynot.t;
+    handle : Subsume_memo.inst;
+    ontology : Ls.t Ontology.t;
+  }
+
+  type state = {
+    support : Value_set.t array;
+    concepts : Ls.t array;
+  }
+
+  let lub ctx x =
+    let inst = ctx.wn.Whynot.instance in
+    match ctx.variant with
+    | Selection_free -> Lub.lub ~handle:ctx.handle inst x
+    | With_selections -> Lub.lub_sigma ~handle:ctx.handle inst x
+
+  let make_ctx ?handle ?(variant = Selection_free) wn =
+    let inst = wn.Whynot.instance in
+    let handle =
+      match handle with Some h -> h | None -> Subsume_memo.inst inst
+    in
+    { variant; wn; handle; ontology = Ontology.of_instance ~handle inst }
+
+  let whynot ctx = ctx.wn
+  let ontology ctx = ctx.ontology
+  let handle ctx = ctx.handle
+
+  let init ctx =
+    let support =
+      Array.of_list
+        (List.map Value_set.singleton (Whynot.missing_values ctx.wn))
+    in
+    { support; concepts = Array.map (fun x -> lub ctx x) support }
+
+  let copy_state st =
+    { support = Array.copy st.support; concepts = Array.copy st.concepts }
+
+  let attempts ?(order = `Ascending) wn =
+    let adom =
+      let asc =
+        Value_set.elements (Instance.adom wn.Whynot.instance)
+      in
+      match order with `Ascending -> asc | `Descending -> List.rev asc
+    in
+    List.concat_map
+      (fun j -> List.map (fun b -> (j, b)) adom)
+      (List.init (Whynot.arity wn) (fun j -> j))
+
+  (* The skip test of the sequential loop: [b] already belongs to the
+     position's current extension, so absorbing it cannot change anything. *)
+  let covered ctx st (j, b) = Subsume_memo.mem ctx.handle b st.concepts.(j)
+
+  (* Evaluate one absorption against a (snapshot of the) state: does
+     enlarging position [j]'s support with [b] keep the tuple an
+     explanation? Pure w.r.t. the state — drivers commit separately. *)
+  let evaluate ctx st (j, b) =
+    Obs.incr c_absorb_attempts;
+    let x' = Value_set.add b st.support.(j) in
+    let c' = lub ctx x' in
+    let e' = replace_nth (Array.to_list st.concepts) j c' in
+    if Explanation.is_explanation ctx.ontology ctx.wn e' then Some (x', c')
+    else None
+
+  let commit st j (x', c') =
+    Obs.incr c_absorbed;
+    st.support.(j) <- x';
+    st.concepts.(j) <- c'
+
+  let finish ctx st = try_top ctx.ontology ctx.wn (Array.to_list st.concepts)
+
+  let shorten_explanation ctx e =
+    List.map
+      (Irredundant.minimise ~handle:ctx.handle ctx.wn.Whynot.instance)
+      e
+end
+
 let one_mge_with_trace ?(variant = Selection_free) ?(order = `Ascending) wn =
-  let lub = lub_of variant in
-  let inst = wn.Whynot.instance in
-  let o = Ontology.of_instance inst in
-  let adom =
-    let asc = Value_set.elements (Instance.adom inst) in
-    match order with `Ascending -> asc | `Descending -> List.rev asc
-  in
-  let m = Whynot.arity wn in
-  let h = Subsume_memo.inst inst in
+  let ctx = Step.make_ctx ~variant wn in
+  let st = Step.init ctx in
   let trace = ref [] in
-  let support =
-    Array.of_list (List.map Value_set.singleton (Whynot.missing_values wn))
-  in
-  let concepts = Array.map (fun x -> lub inst x) support in
-  for j = 0 to m - 1 do
-    List.iter
-      (fun b ->
-         if not (Subsume_memo.mem h b concepts.(j)) then begin
-           Obs.incr c_absorb_attempts;
-           let x' = Value_set.add b support.(j) in
-           let c' = lub inst x' in
-           let e' = replace_nth (Array.to_list concepts) j c' in
-           let ok = Explanation.is_explanation o wn e' in
-           trace := (j, b, ok) :: !trace;
-           if ok then begin
-             Obs.incr c_absorbed;
-             Log.debug (fun m ->
-                 m "position %d absorbed %s" (j + 1) (Value.to_string b));
-             support.(j) <- x';
-             concepts.(j) <- c'
-           end
-         end)
-      adom
-  done;
-  let e = try_top o wn (Array.to_list concepts) in
-  (e, List.rev !trace)
+  List.iter
+    (fun (j, b) ->
+       if not (Step.covered ctx st (j, b)) then begin
+         match Step.evaluate ctx st (j, b) with
+         | Some upd ->
+           trace := (j, b, true) :: !trace;
+           Log.debug (fun m ->
+               m "position %d absorbed %s" (j + 1) (Value.to_string b));
+           Step.commit st j upd
+         | None -> trace := (j, b, false) :: !trace
+       end)
+    (Step.attempts ~order wn);
+  (Step.finish ctx st, List.rev !trace)
 
 let one_mge ?(variant = Selection_free) ?(shorten = true) ?order wn =
   let e, _ = one_mge_with_trace ~variant ?order wn in
   if shorten then List.map (Irredundant.minimise wn.Whynot.instance) e else e
 
 let check_mge ?(variant = Selection_free) wn e =
-  let lub = lub_of variant in
+  let ctx = Step.make_ctx ~variant wn in
   let inst = wn.Whynot.instance in
-  let o = Ontology.of_instance inst in
+  let o = ctx.Step.ontology in
   if not (Explanation.is_explanation o wn e) then false
   else
     let adom = Value_set.elements (Instance.adom inst) in
-    let h = Subsume_memo.inst inst in
+    let h = ctx.Step.handle in
     let ext_set c =
       match Subsume_memo.extension h c with
       | Semantics.All -> None
@@ -101,7 +164,7 @@ let check_mge ?(variant = Selection_free) wn e =
           (fun b ->
              (not (Value_set.mem b ext))
              &&
-             let c' = lub inst (Value_set.add b ext) in
+             let c' = Step.lub ctx (Value_set.add b ext) in
              Explanation.is_explanation o wn (replace_nth e j c'))
           adom
         (* (b) jump to top *)

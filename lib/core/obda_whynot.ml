@@ -1,10 +1,10 @@
 let make induced ~query ~missing =
   let spec = Whynot_obda.Induced.spec induced in
   if not (Whynot_obda.Rewrite.is_ontology_query (Whynot_obda.Spec.tbox spec) query)
-  then Error "the query is not over the ontology's signature"
+  then Error (`Invalid_whynot "the query is not over the ontology's signature")
   else
     match Whynot_obda.Induced.consistent induced with
-    | Error msg -> Error ("inconsistent retrieved assertions: " ^ msg)
+    | Error msg -> Error (`Inconsistent ("inconsistent retrieved assertions: " ^ msg))
     | Ok () ->
       let answers = Whynot_obda.Rewrite.certain_answers induced query in
       Whynot.make ~answers
@@ -14,4 +14,4 @@ let make induced ~query ~missing =
 let explain induced ~query ~missing =
   match make induced ~query ~missing with
   | Error _ as e -> e |> Result.map (fun _ -> [])
-  | Ok wn -> Ok (Exhaustive.all_mges (Ontology.of_obda induced) wn)
+  | Ok wn -> Ok (Exhaustive.all_mges_exn (Ontology.of_obda induced) wn)

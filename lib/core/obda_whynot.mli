@@ -12,7 +12,7 @@ val make :
   Whynot_obda.Induced.t ->
   query:Cq.t ->
   missing:Value.t list ->
-  (Whynot.t, string) result
+  (Whynot.t, Whynot_error.t) result
 (** A why-not instance whose answer set is the certain answers of the
     ontology-level query over the prepared instance. Fails when the query
     is not over the TBox's signature, when the retrieved assertions are
@@ -23,5 +23,5 @@ val explain :
   Whynot_obda.Induced.t ->
   query:Cq.t ->
   missing:Value.t list ->
-  (Whynot_dllite.Dl.basic Explanation.t list, string) result
+  (Whynot_dllite.Dl.basic Explanation.t list, Whynot_error.t) result
 (** All most-general explanations, over {!Ontology.of_obda}. *)

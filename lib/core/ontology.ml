@@ -11,7 +11,7 @@ type 'c t = {
 
 let equivalent o c1 c2 = o.subsumes c1 c2 && o.subsumes c2 c1
 
-let consistency_violations o probes =
+let consistency_violations_exn o probes =
   match o.concepts with
   | None ->
     invalid_arg "Ontology.consistency_violations: infinite ontology"
@@ -27,6 +27,14 @@ let consistency_violations o probes =
               else None)
            cs)
       cs
+
+let consistency_violations o probes =
+  match o.concepts with
+  | None ->
+    Error
+      (`Infinite_ontology
+         ("Ontology.consistency_violations: " ^ o.name ^ " is infinite"))
+  | Some _ -> Ok (consistency_violations_exn o probes)
 
 (* --- hand ontologies (Figure 3) --- *)
 
@@ -81,8 +89,16 @@ let of_obda induced =
 
 (* --- ontologies derived from an instance or a schema (Definition 4.8) --- *)
 
-let of_instance inst =
-  let h = Whynot_concept.Subsume_memo.inst inst in
+(* [handle] lets the parallel engine prepare an ontology value whose
+   memoisation goes through a per-domain private handle; without it the
+   shared interned handle is used, as before. *)
+
+let of_instance ?handle inst =
+  let h =
+    match handle with
+    | Some h -> h
+    | None -> Whynot_concept.Subsume_memo.inst inst
+  in
   {
     name = "O_I";
     concepts = None;
@@ -92,12 +108,20 @@ let of_instance inst =
     pp = (fun ppf c -> Whynot_concept.Ls.pp () ppf c);
   }
 
-let of_schema schema inst =
+let of_schema ?schema_handle ?handle schema inst =
   (* Schema-level subsumption is costly (containment, counter-model
      search); the algorithms re-ask the same pairs, so all verdicts go
      through the shared memo layer, keyed on hash-consed concept ids. *)
-  let sh = Whynot_concept.Subsume_memo.schema schema in
-  let ih = Whynot_concept.Subsume_memo.inst inst in
+  let sh =
+    match schema_handle with
+    | Some h -> h
+    | None -> Whynot_concept.Subsume_memo.schema schema
+  in
+  let ih =
+    match handle with
+    | Some h -> h
+    | None -> Whynot_concept.Subsume_memo.inst inst
+  in
   {
     name = "O_S";
     concepts = None;
@@ -107,8 +131,8 @@ let of_schema schema inst =
     pp = (fun ppf c -> Whynot_concept.Ls.pp ~schema () ppf c);
   }
 
-let of_instance_finite inst pool =
-  let base = of_instance inst in
+let of_instance_finite ?handle inst pool =
+  let base = of_instance ?handle inst in
   {
     base with
     name = "O_I[K]";
@@ -122,8 +146,9 @@ let minimal_concepts schema pool =
       (fun (rel, attr) -> Whynot_concept.Ls.proj ~rel ~attr ())
       (Schema.positions schema)
 
-let of_schema_finite ?(minimal_only = false) schema inst pool =
-  let base = of_schema schema inst in
+let of_schema_finite ?(minimal_only = false) ?schema_handle ?handle schema inst
+    pool =
+  let base = of_schema ?schema_handle ?handle schema inst in
   let concepts =
     if minimal_only then minimal_concepts schema pool
     else Whynot_concept.Count.enumerate_selection_free inst pool

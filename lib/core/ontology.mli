@@ -24,11 +24,18 @@ type 'c t = {
 val equivalent : 'c t -> 'c -> 'c -> bool
 (** Mutual subsumption. *)
 
-val consistency_violations : 'c t -> Value.t list -> ('c * 'c) list
+val consistency_violations :
+  'c t -> Value.t list -> (('c * 'c) list, Whynot_error.t) result
 (** For a finite ontology: pairs [C1 ⊑ C2] whose extensions (restricted to
     the probe constants) violate [ext(C1) ⊆ ext(C2)] — the instance is
     consistent with the ontology iff this is empty on the active domain
-    (Definition 3.1). @raise Invalid_argument on infinite ontologies. *)
+    (Definition 3.1). [Error (`Infinite_ontology _)] on infinite
+    ontologies. *)
+
+val consistency_violations_exn : 'c t -> Value.t list -> ('c * 'c) list
+(** @deprecated Use {!consistency_violations}; this variant raises
+    [Invalid_argument] on infinite ontologies and remains for internal
+    callers that know their ontology is finite. *)
 
 (** {1 Constructors} *)
 
@@ -45,15 +52,22 @@ val of_obda : Whynot_obda.Induced.t -> Whynot_dllite.Dl.basic t
 (** The ontology [O_B] induced by an OBDA specification (Definition 4.4),
     prepared for the instance used in {!Whynot_obda.Induced.prepare}. *)
 
-val of_instance : Instance.t -> Whynot_concept.Ls.t t
-(** [O_I] (Definition 4.8): infinite; subsumption is [⊑_I]. *)
+val of_instance :
+  ?handle:Whynot_concept.Subsume_memo.inst -> Instance.t -> Whynot_concept.Ls.t t
+(** [O_I] (Definition 4.8): infinite; subsumption is [⊑_I]. [handle]
+    routes memoisation through an explicit (possibly private, per-domain)
+    handle — see {!Whynot_concept.Subsume_memo.private_inst}. *)
 
-val of_schema : Schema.t -> Instance.t -> Whynot_concept.Ls.t t
+val of_schema :
+  ?schema_handle:Whynot_concept.Subsume_memo.schema ->
+  ?handle:Whynot_concept.Subsume_memo.inst ->
+  Schema.t -> Instance.t -> Whynot_concept.Ls.t t
 (** [O_S] (Definition 4.8): infinite; subsumption is [⊑_S], decided by
     {!Whynot_concept.Subsume_schema} (sound for all constraint classes,
     complete for the pure ones — see that module). *)
 
 val of_instance_finite :
+  ?handle:Whynot_concept.Subsume_memo.inst ->
   Instance.t -> Value_set.t -> Whynot_concept.Ls.t t
 (** The finite restriction of [O_I] to selection-free concepts with
     nominals from the given constant pool — the materialised [O_I[K]]
@@ -62,6 +76,8 @@ val of_instance_finite :
 
 val of_schema_finite :
   ?minimal_only:bool ->
+  ?schema_handle:Whynot_concept.Subsume_memo.schema ->
+  ?handle:Whynot_concept.Subsume_memo.inst ->
   Schema.t -> Instance.t -> Value_set.t -> Whynot_concept.Ls.t t
 (** The finite restriction of [O_S[K]] (§5.3): selection-free concepts, or
     only [L_S^min] concepts when [minimal_only] is set (the PTIME case of

@@ -34,11 +34,18 @@ val all_mges :
   fragment ->
   Whynot_relational.Schema.t ->
   Whynot.t ->
-  Whynot_concept.Ls.t Explanation.t list
+  (Whynot_concept.Ls.t Explanation.t list, Whynot_error.t) result
 (** All MGEs w.r.t. [O_S] restricted to the fragment, by Algorithm 1
-    over the materialised finite ontology.
-    @raise Invalid_argument if the fragment is infinite over this
-    schema and constant pool. *)
+    over the materialised finite ontology. [`Infinite_ontology] if the
+    fragment is infinite over this schema and constant pool. *)
+
+val all_mges_exn :
+  fragment ->
+  Whynot_relational.Schema.t ->
+  Whynot.t ->
+  Whynot_concept.Ls.t Explanation.t list
+(** @deprecated Use {!all_mges}; raises [Invalid_argument] on an infinite
+    fragment. *)
 
 val check_mge :
   fragment ->

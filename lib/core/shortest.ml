@@ -9,7 +9,7 @@ let shortest_mge_selection_free wn =
   let o =
     Ontology.of_instance_finite wn.Whynot.instance (Whynot.constant_pool wn)
   in
-  match Exhaustive.all_mges o wn with
+  match Exhaustive.all_mges_exn o wn with
   | [] -> None
   | mges ->
     Some

@@ -10,9 +10,9 @@ type t = {
 
 let make ?answers ~instance ~query ~witness () =
   let witness = Tuple.of_list witness in
-  if not (Cq.is_safe query) then Error "query is not safe"
+  if not (Cq.is_safe query) then Error (`Invalid_whynot "query is not safe")
   else if Tuple.arity witness <> Cq.arity query then
-    Error "witness arity differs from the query's"
+    Error (`Invalid_whynot "witness arity differs from the query's")
   else
     let answers =
       match answers with
@@ -21,12 +21,12 @@ let make ?answers ~instance ~query ~witness () =
     in
     if Relation.mem witness answers then
       Ok { instance; query; answers; witness }
-    else Error "the witness tuple is not an answer"
+    else Error (`Invalid_whynot "the witness tuple is not an answer")
 
 let make_exn ?answers ~instance ~query ~witness () =
   match make ?answers ~instance ~query ~witness () with
   | Ok t -> t
-  | Error msg -> invalid_arg ("Why.make_exn: " ^ msg)
+  | Error e -> invalid_arg ("Why.make_exn: " ^ Whynot_error.message e)
 
 (* The product of the extensions must lie inside the answer set. With the
    abstract membership interface this is checked by enumerating the product
@@ -64,7 +64,7 @@ let covers_witness o t e =
 let is_why_explanation o t e = covers_witness o t e && product_inside o t e
 
 let lub_of = function
-  | Incremental.Selection_free -> Lub.lub
+  | Incremental.Selection_free -> fun inst x -> Lub.lub inst x
   | Incremental.With_selections -> fun inst x -> Lub.lub_sigma inst x
 
 let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs

@@ -32,8 +32,9 @@ val make :
   query:Cq.t ->
   witness:Value.t list ->
   unit ->
-  (t, string) result
-(** Requires [witness ∈ q(I)] — the mirror image of {!Whynot.make}. *)
+  (t, Whynot_error.t) result
+(** Requires [witness ∈ q(I)] — the mirror image of {!Whynot.make};
+    failures are [`Invalid_whynot]. *)
 
 val make_exn :
   ?answers:Relation.t ->
@@ -42,7 +43,7 @@ val make_exn :
   witness:Value.t list ->
   unit ->
   t
-(** {!make}, raising [Invalid_argument] on [Error]. *)
+(** @deprecated Prefer {!make}; raises [Invalid_argument] on [Error]. *)
 
 val is_why_explanation : 'c Ontology.t -> t -> 'c Explanation.t -> bool
 (** The dual conditions: every [a_i ∈ ext(C_i)] and the product of the

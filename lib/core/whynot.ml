@@ -10,11 +10,12 @@ type t = {
 
 let make ?schema ?answers ~instance ~query ~missing () =
   let missing = Tuple.of_list missing in
-  if not (Cq.is_safe query) then Error "query is not safe"
+  if not (Cq.is_safe query) then Error (`Invalid_whynot "query is not safe")
   else if Tuple.arity missing <> Cq.arity query then
     Error
-      (Printf.sprintf "missing tuple has arity %d, query has arity %d"
-         (Tuple.arity missing) (Cq.arity query))
+      (`Invalid_whynot
+         (Printf.sprintf "missing tuple has arity %d, query has arity %d"
+            (Tuple.arity missing) (Cq.arity query)))
   else
     let answers =
       match answers with
@@ -22,19 +23,20 @@ let make ?schema ?answers ~instance ~query ~missing () =
       | None -> Cq.eval query instance
     in
     if Relation.mem missing answers then
-      Error "tuple is not missing: it belongs to the answer set"
+      Error (`Invalid_whynot "tuple is not missing: it belongs to the answer set")
     else
       match schema with
       | None -> Ok { schema; instance; query; answers; missing }
       | Some s ->
         (match Schema.satisfies s instance with
          | Ok () -> Ok { schema; instance; query; answers; missing }
-         | Error msg -> Error ("instance violates schema: " ^ msg))
+         | Error msg ->
+           Error (`Schema_violation ("instance violates schema: " ^ msg)))
 
 let make_exn ?schema ?answers ~instance ~query ~missing () =
   match make ?schema ?answers ~instance ~query ~missing () with
   | Ok t -> t
-  | Error msg -> invalid_arg ("Whynot.make_exn: " ^ msg)
+  | Error e -> invalid_arg ("Whynot.make_exn: " ^ Whynot_error.message e)
 
 let arity t = Tuple.arity t.missing
 

@@ -20,10 +20,11 @@ val make :
   query:Cq.t ->
   missing:Value.t list ->
   unit ->
-  (t, string) result
+  (t, Whynot_error.t) result
 (** Checks that the query is safe, the missing tuple has the query's arity
-    and is not among the answers, and (when a schema is supplied) that the
-    instance satisfies it. [answers] defaults to [q(I)]. *)
+    and is not among the answers ([`Invalid_whynot]), and (when a schema is
+    supplied) that the instance satisfies it ([`Schema_violation]).
+    [answers] defaults to [q(I)]. *)
 
 val make_exn :
   ?schema:Schema.t ->
@@ -33,7 +34,9 @@ val make_exn :
   missing:Value.t list ->
   unit ->
   t
-(** {!make}, raising [Invalid_argument] on [Error]. *)
+(** @deprecated Prefer {!make} (or the {!Whynot.Engine} facade); this
+    variant raises [Invalid_argument] on [Error] and remains for internal
+    callers with known-good inputs. *)
 
 val arity : t -> int
 (** The arity [m] of the query — one explanation concept per position. *)

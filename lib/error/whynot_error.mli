@@ -1,0 +1,51 @@
+(** The single error type of the public API.
+
+    Every operation of the {!Whynot.Engine} facade — and every
+    result-returning entry point in [lib/core] and [lib/text] — fails with
+    a value of this polymorphic variant instead of raising. The payloads
+    are human-readable messages (parser errors keep their [line N]
+    prefixes); {!code} gives a stable machine-readable tag used by the
+    CLI's JSON envelope, and the CLI maps any [Error _] to exit code 2. *)
+
+type t =
+  [ `Parse of string  (** lexer/parser failure, message carries [line N] *)
+  | `Invalid_whynot of string
+    (** malformed why-not or why question: unsafe query, arity mismatch,
+        tuple on the wrong side of the answer set *)
+  | `Schema_violation of string
+    (** the instance does not satisfy the declared schema *)
+  | `Infinite_ontology of string
+    (** a finite-ontology algorithm was given an ontology with
+        [concepts = None] *)
+  | `Not_an_explanation of string
+    (** an operation requiring an explanation was given a non-explanation *)
+  | `Missing_input of string
+    (** a required ingredient is absent (no schema on the engine, no
+        query in the document, ...) *)
+  | `Inconsistent of string
+    (** the data is inconsistent with the ontology (OBDA retrieved
+        assertions) *)
+  | `Invalid_config of string
+    (** bad engine configuration: non-positive domain count, operation on
+        a closed engine *)
+  | `Internal of string  (** invariant violation; please report *)
+  ]
+
+val code : t -> string
+(** A stable kebab-case tag for the constructor, e.g. ["parse"],
+    ["invalid-whynot"], ["infinite-ontology"] — the [error.code] field of
+    the CLI's JSON envelope. *)
+
+val message : t -> string
+(** The payload message alone. *)
+
+val to_string : t -> string
+(** ["<code>: <message>"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)
+
+val of_invalid_argument : (unit -> 'a) -> ('a, [> `Internal of string ]) result
+(** Run a thunk, catching [Invalid_argument] into [`Internal] — the
+    adapter used by the thin shims in [lib/core] around their [*_exn]
+    internals when no more precise constructor applies. *)

@@ -7,6 +7,9 @@ type t = {
   retrieved : Interp.t;
   instance : Instance.t;
   mutable ext_cache : (Dl.basic * Value_set.t) list;
+  (* [extension] is called concurrently when the parallel engine explores
+     an OBDA-induced ontology; the cache update must not lose entries. *)
+  ext_lock : Mutex.t;
 }
 
 let prepare spec inst =
@@ -16,6 +19,7 @@ let prepare spec inst =
     retrieved = Spec.retrieve spec inst;
     instance = inst;
     ext_cache = [];
+    ext_lock = Mutex.create ();
   }
 
 let instance t = t.instance
@@ -44,20 +48,22 @@ let base_extensions t =
   List.map of_atom atoms @ List.concat_map of_role roles
 
 let extension t c =
-  match
-    List.find_opt (fun (c', _) -> Dl.equal_basic c c') t.ext_cache
-  with
-  | Some (_, ext) -> ext
-  | None ->
-    let ext =
-      List.fold_left
-        (fun acc (b0, base) ->
-           if Reasoner.subsumes t.reasoner b0 c then Value_set.union base acc
-           else acc)
-        Value_set.empty (base_extensions t)
-    in
-    t.ext_cache <- (c, ext) :: t.ext_cache;
-    ext
+  Mutex.protect t.ext_lock (fun () ->
+      match
+        List.find_opt (fun (c', _) -> Dl.equal_basic c c') t.ext_cache
+      with
+      | Some (_, ext) -> ext
+      | None ->
+        let ext =
+          List.fold_left
+            (fun acc (b0, base) ->
+               if Reasoner.subsumes t.reasoner b0 c then
+                 Value_set.union base acc
+               else acc)
+            Value_set.empty (base_extensions t)
+        in
+        t.ext_cache <- (c, ext) :: t.ext_cache;
+        ext)
 
 let base_concepts_of t v =
   List.filter_map

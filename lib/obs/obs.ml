@@ -1,47 +1,68 @@
+(* Counters are striped: each counter owns a small array of atomic cells
+   and a bump lands in the cell indexed by the current domain id, so
+   concurrent domains never contend on one location and no update is ever
+   lost. Reading a counter sums the stripes — the "per-domain aggregation"
+   contract of the parallel engine. *)
+
+let stripes = 16
+let stripe_mask = stripes - 1
+
 type counter = {
   name : string;
   mutable doc : string;
-  mutable count : int;
+  cells : int Atomic.t array;
 }
 
 type timer = {
   tname : string;
   mutable tdoc : string;
-  mutable ns : int;
-  mutable calls : int;
+  ns : int Atomic.t;
+  calls : int Atomic.t;
 }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
 
-let counter ?(doc = "") name =
-  match Hashtbl.find_opt counters name with
-  | Some c ->
-    if c.doc = "" && doc <> "" then c.doc <- doc;
-    c
-  | None ->
-    let c = { name; doc; count = 0 } in
-    Hashtbl.add counters name c;
-    c
+(* Registration can race when worker domains instantiate modules lazily;
+   lookups after registration are safe because the tables are only grown
+   under this lock and never resized concurrently with a bump (bumps go
+   through the counter value, not the table). *)
+let registry_lock = Mutex.create ()
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let value c = c.count
+let counter ?(doc = "") name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c ->
+        if c.doc = "" && doc <> "" then c.doc <- doc;
+        c
+      | None ->
+        let c = { name; doc; cells = Array.init stripes (fun _ -> Atomic.make 0) } in
+        Hashtbl.add counters name c;
+        c)
+
+let stripe () = (Domain.self () :> int) land stripe_mask
+let incr c = Atomic.incr c.cells.(stripe ())
+let add c n = ignore (Atomic.fetch_and_add c.cells.(stripe ()) n)
+
+let value c =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
 let name c = c.name
 
 let timer ?(doc = "") name =
-  match Hashtbl.find_opt timers name with
-  | Some t ->
-    if t.tdoc = "" && doc <> "" then t.tdoc <- doc;
-    t
-  | None ->
-    let t = { tname = name; tdoc = doc; ns = 0; calls = 0 } in
-    Hashtbl.add timers name t;
-    t
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt timers name with
+      | Some t ->
+        if t.tdoc = "" && doc <> "" then t.tdoc <- doc;
+        t
+      | None ->
+        let t = { tname = name; tdoc = doc; ns = Atomic.make 0; calls = Atomic.make 0 } in
+        Hashtbl.add timers name t;
+        t)
 
 let record_ns t ns =
-  t.ns <- t.ns + ns;
-  t.calls <- t.calls + 1
+  ignore (Atomic.fetch_and_add t.ns ns);
+  Atomic.incr t.calls
 
 let time t f =
   let t0 = Unix.gettimeofday () in
@@ -56,16 +77,18 @@ let time t f =
     finish ();
     raise exn
 
-let timer_ns t = t.ns
+let timer_ns t = Atomic.get t.ns
 
 let snapshot () =
   let counter_entries =
-    Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) counters []
+    Hashtbl.fold (fun name c acc -> (name, value c) :: acc) counters []
   in
   let timer_entries =
     Hashtbl.fold
       (fun name t acc ->
-         (name ^ ".ns", t.ns) :: (name ^ ".calls", t.calls) :: acc)
+         (name ^ ".ns", Atomic.get t.ns)
+         :: (name ^ ".calls", Atomic.get t.calls)
+         :: acc)
       timers []
   in
   List.sort
@@ -86,11 +109,13 @@ let delta f =
   (v, diff)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells)
+    counters;
   Hashtbl.iter
     (fun _ t ->
-       t.ns <- 0;
-       t.calls <- 0)
+       Atomic.set t.ns 0;
+       Atomic.set t.calls 0)
     timers
 
 let pp ppf () =

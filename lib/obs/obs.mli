@@ -11,8 +11,15 @@
     Counters are registered lazily by name; names are dot-separated,
     lowest-level subsystem first (e.g. ["subsume.inst.hits"]). Registering
     the same name twice returns the same counter, so modules may simply
-    call {!counter} at toplevel. The registry is process-global and not
-    thread-safe (the engine is single-threaded). *)
+    call {!counter} at toplevel.
+
+    The registry is process-global and safe to use from multiple domains:
+    each counter is striped over an array of atomic cells indexed by the
+    current domain id, so bumps from the parallel engine's worker domains
+    never contend and are never lost; {!value} and {!snapshot} aggregate
+    the per-domain stripes. A reader racing a concurrent bump may see a
+    value that is off by the in-flight increments, but once the domains
+    have joined the aggregate is exact. *)
 
 type counter
 (** A named monotone integer counter. *)

@@ -1,0 +1,303 @@
+open Whynot_relational
+open Whynot_core
+module Obs = Whynot_obs.Obs
+module Int_set = Exhaustive.Int_set
+
+let c_plan_items =
+  Obs.counter "parallel.exhaustive.plan_items"
+    ~doc:"(position, concept) membership/kill-set items evaluated in parallel"
+
+let c_tuples =
+  Obs.counter "parallel.exhaustive.tuples"
+    ~doc:"candidate explanation tuples examined by the parallel sweep"
+
+let c_blocks =
+  Obs.counter "parallel.exhaustive.blocks"
+    ~doc:"first-position candidate blocks distributed over the pool"
+
+let infinite o =
+  Error
+    (`Infinite_ontology
+       ("Par_exhaustive: ontology " ^ o.Ontology.name ^ " is not finite"))
+
+(* Per-worker ontology slots, created lazily. A slot is only ever touched by
+   its own domain (a pool worker processes its items sequentially), so no
+   locking is needed. *)
+let make_slots pool ~ontology =
+  let slots = Array.make (Pool.size pool) None in
+  fun w ->
+    match slots.(w) with
+    | Some o -> o
+    | None ->
+      let o = ontology ~worker:w in
+      slots.(w) <- Some o;
+      o
+
+(* --- plan construction ---
+
+   Stage 1 fans the (position, concept) grid out over the pool: each item
+   answers "is this concept a candidate here, and which answer tuples does
+   it kill?". Collection then walks the grid in concept order, which is by
+   construction the order [Exhaustive.candidates] produces. *)
+
+let build_positions pool get_o ~prune wn concepts =
+  let cs = Array.of_list concepts in
+  let nc = Array.length cs in
+  let missing = Array.of_list (Whynot.missing_values wn) in
+  let m = Array.length missing in
+  let answers = Array.of_list (Relation.to_list wn.Whynot.answers) in
+  let n_answers = Array.length answers in
+  let grid = Array.make (m * nc) None in
+  Pool.run pool ~n:(m * nc) (fun ~worker idx ->
+      Obs.incr c_plan_items;
+      let o = get_o worker in
+      let pos = idx / nc and ci = idx mod nc in
+      let c = cs.(ci) in
+      if o.Ontology.mem c missing.(pos) then begin
+        let ks = ref Int_set.empty in
+        for i = 0 to n_answers - 1 do
+          if not (o.Ontology.mem c (Tuple.get answers.(i) (pos + 1))) then
+            ks := Int_set.add i !ks
+        done;
+        grid.(idx) <- Some (c, !ks)
+      end);
+  let positions =
+    Array.init m (fun pos ->
+        let acc = ref [] in
+        for ci = nc - 1 downto 0 do
+          match grid.((pos * nc) + ci) with
+          | Some ck -> acc := ck :: !acc
+          | None -> ()
+        done;
+        Array.of_list !acc)
+  in
+  if not prune then positions
+  else begin
+    (* Dominated-candidate preprocessing, in parallel over the kept
+       candidates; each verdict only reads the (immutable) per-position
+       array, so the filtered result is independent of scheduling. *)
+    let offsets = Array.make (m + 1) 0 in
+    for pos = 0 to m - 1 do
+      offsets.(pos + 1) <- offsets.(pos) + Array.length positions.(pos)
+    done;
+    let total = offsets.(m) in
+    let keep = Array.make total true in
+    Pool.run pool ~n:total (fun ~worker idx ->
+        let o = get_o worker in
+        let pos = ref 0 in
+        while offsets.(!pos + 1) <= idx do incr pos done;
+        let arr = positions.(!pos) in
+        let c, ks = arr.(idx - offsets.(!pos)) in
+        let dominated =
+          Array.exists
+            (fun (c', ks') ->
+               (not (o.Ontology.equal c c'))
+               && o.Ontology.subsumes c c'
+               && (not (o.Ontology.subsumes c' c))
+               && Int_set.subset ks ks')
+            arr
+        in
+        if dominated then keep.(idx) <- false);
+    Array.mapi
+      (fun pos arr ->
+         let kept = ref [] in
+         for k = Array.length arr - 1 downto 0 do
+           if keep.(offsets.(pos) + k) then kept := arr.(k) :: !kept
+         done;
+         Array.of_list !kept)
+      positions
+  end
+
+let all_answer_ids wn =
+  Int_set.of_list
+    (List.init (Relation.cardinal wn.Whynot.answers) (fun i -> i))
+
+(* --- ALL-MGES ---
+
+   The candidate product is partitioned into blocks, one per first-position
+   candidate; a block enumerates its sub-product depth-first in the same
+   order as the sequential [product_fold]. The sequential accumulator pushes
+   each explanation onto a list, so its final order is blocks reversed with
+   each block's hits reversed — reproduced exactly below, after which the
+   maximality filter (parallel, order-independent) and the equivalence dedup
+   (sequential, first representative in list order wins) match
+   [Exhaustive.keep_most_general] verbatim. *)
+
+let all_mges pool ~ontology ?(prune = true) wn =
+  let get_o = make_slots pool ~ontology in
+  let o0 = get_o 0 in
+  match o0.Ontology.concepts with
+  | None -> infinite o0
+  | Some concepts ->
+    let positions = build_positions pool get_o ~prune wn concepts in
+    let m = Array.length positions in
+    let all = all_answer_ids wn in
+    let explanations =
+      if m = 0 then if Int_set.is_empty all then [ [] ] else []
+      else begin
+        let first = positions.(0) in
+        let rest = Array.sub positions 1 (m - 1) in
+        let n_rest = Array.length rest in
+        let blocks = Array.make (Array.length first) [] in
+        Pool.run pool ~n:(Array.length first) (fun ~worker:_ bi ->
+            Obs.incr c_blocks;
+            let c0, ks0 = first.(bi) in
+            let acc = ref [] in
+            let rec go killed chosen p =
+              if p = n_rest then begin
+                Obs.incr c_tuples;
+                if Int_set.equal killed all then acc := List.rev chosen :: !acc
+              end
+              else
+                Array.iter
+                  (fun (c, ks) ->
+                     go (Int_set.union killed ks) (c :: chosen) (p + 1))
+                  rest.(p)
+            in
+            go ks0 [ c0 ] 0;
+            blocks.(bi) <- !acc);
+        List.concat (List.rev (Array.to_list blocks))
+      end
+    in
+    (* Maximality is a per-explanation predicate against the full list —
+       embarrassingly parallel; each worker compares through its own
+       ontology handle. *)
+    let arr = Array.of_list explanations in
+    let keep = Array.make (Array.length arr) true in
+    Pool.run pool ~n:(Array.length arr) (fun ~worker idx ->
+        let o = get_o worker in
+        let e = arr.(idx) in
+        if
+          Array.exists
+            (fun e' -> Explanation.strictly_less_general o e e')
+            arr
+        then keep.(idx) <- false);
+    let maximal = ref [] in
+    for i = Array.length arr - 1 downto 0 do
+      if keep.(i) then maximal := arr.(i) :: !maximal
+    done;
+    (* Equivalence dedup stays sequential: which representative survives
+       depends on list order, and the contract is "exactly the sequential
+       MGE set". *)
+    Ok
+      (List.rev
+         (List.fold_left
+            (fun acc e ->
+               if List.exists (fun e' -> Explanation.equivalent o0 e e') acc
+               then acc
+               else e :: acc)
+            [] !maximal))
+
+(* --- EXISTENCE ---
+
+   Boolean, hence order-independent: first-position candidates are searched
+   as independent blocks with the same suffix-reach pruning rule as the
+   sequential version, plus a shared early-exit flag. *)
+
+let exists_explanation pool ~ontology wn =
+  let get_o = make_slots pool ~ontology in
+  let o0 = get_o 0 in
+  match o0.Ontology.concepts with
+  | None -> infinite o0
+  | Some concepts ->
+    let positions = build_positions pool get_o ~prune:false wn concepts in
+    let m = Array.length positions in
+    let all = all_answer_ids wn in
+    if Array.exists (fun arr -> Array.length arr = 0) positions then Ok false
+    else if m = 0 then Ok (Int_set.is_empty all)
+    else begin
+      let rest = Array.sub positions 1 (m - 1) in
+      let n_rest = Array.length rest in
+      (* reach.(p) = everything positions p.. of [rest] can still kill *)
+      let reach = Array.make (n_rest + 1) Int_set.empty in
+      for p = n_rest - 1 downto 0 do
+        reach.(p) <-
+          Array.fold_left
+            (fun s (_, ks) -> Int_set.union s ks)
+            reach.(p + 1) rest.(p)
+      done;
+      let found = Atomic.make false in
+      Pool.run pool ~n:(Array.length positions.(0)) (fun ~worker:_ bi ->
+          if not (Atomic.get found) then begin
+            let _, ks0 = positions.(0).(bi) in
+            let rec search killed p =
+              (not (Atomic.get found))
+              &&
+              if p = n_rest then Int_set.equal killed all
+              else
+                Int_set.subset (Int_set.diff all killed) reach.(p)
+                && Array.exists
+                     (fun (_, ks) -> search (Int_set.union killed ks) (p + 1))
+                     rest.(p)
+            in
+            if search ks0 0 then Atomic.set found true
+          end);
+      Ok (Atomic.get found)
+    end
+
+(* --- ONE-MGE ---
+
+   Each block finds the first solution of its sub-product in product order;
+   the lowest-numbered block that holds any solution holds the sequential
+   algorithm's solution, so taking the minimum block index and climbing from
+   its witness reproduces the sequential answer exactly. Blocks above the
+   current best abort early. *)
+
+exception Outbid
+
+let one_mge pool ~ontology wn =
+  let get_o = make_slots pool ~ontology in
+  let o0 = get_o 0 in
+  match o0.Ontology.concepts with
+  | None -> infinite o0
+  | Some concepts ->
+    let positions = build_positions pool get_o ~prune:false wn concepts in
+    let m = Array.length positions in
+    let all = all_answer_ids wn in
+    if Array.exists (fun arr -> Array.length arr = 0) positions then Ok None
+    else if m = 0 then
+      Ok (if Int_set.is_empty all then Some [] else None)
+    else begin
+      let n_blocks = Array.length positions.(0) in
+      let rest = Array.sub positions 1 (m - 1) in
+      let n_rest = Array.length rest in
+      let witnesses = Array.make n_blocks None in
+      let best = Atomic.make n_blocks in
+      let rec lower_best bi =
+        let cur = Atomic.get best in
+        if bi < cur && not (Atomic.compare_and_set best cur bi) then
+          lower_best bi
+      in
+      Pool.run pool ~n:n_blocks (fun ~worker:_ bi ->
+          if bi < Atomic.get best then begin
+            let c0, ks0 = positions.(0).(bi) in
+            let rec search killed chosen p =
+              if bi >= Atomic.get best then raise Outbid;
+              if p = n_rest then
+                if Int_set.equal killed all then Some (List.rev chosen)
+                else None
+              else
+                Array.fold_left
+                  (fun found (c, ks) ->
+                     match found with
+                     | Some _ -> found
+                     | None ->
+                       search (Int_set.union killed ks) (c :: chosen) (p + 1))
+                  None rest.(p)
+            in
+            match search ks0 [ c0 ] 0 with
+            | Some e ->
+              witnesses.(bi) <- Some e;
+              lower_best bi
+            | None -> ()
+            | exception Outbid -> ()
+          end);
+      let rec first bi =
+        if bi >= n_blocks then None
+        else
+          match witnesses.(bi) with
+          | Some e -> Some e
+          | None -> first (bi + 1)
+      in
+      Ok (Option.map (Exhaustive.generalise_exn o0 wn) (first 0))
+    end

@@ -1,0 +1,92 @@
+open Whynot_core
+module Step = Incremental.Step
+module Obs = Whynot_obs.Obs
+
+let c_batches =
+  Obs.counter "parallel.incremental.batches"
+    ~doc:"speculative absorption batches distributed over the pool"
+
+let c_wasted =
+  Obs.counter "parallel.incremental.wasted"
+    ~doc:"speculative absorption verdicts discarded after a commit"
+
+(* Per-worker contexts, created lazily from the caller's factory; a slot is
+   only touched by its own domain. Slot 0 is the caller's shared context. *)
+let make_slots pool ~ctx =
+  let slots = Array.make (Pool.size pool) None in
+  fun w ->
+    match slots.(w) with
+    | Some c -> c
+    | None ->
+      let c = ctx ~worker:w in
+      slots.(w) <- Some c;
+      c
+
+(* Algorithm 2 is a fold over absorption attempts, so it parallelises by
+   speculation rather than by partitioning: evaluate the next K pending
+   attempts concurrently against a frozen state snapshot, then replay the
+   verdicts in schedule order. Until the first acceptance the state is
+   unchanged, so every replayed verdict is exactly the one the sequential
+   loop would have computed; at the first acceptance the remaining verdicts
+   are stale and are thrown away, and the schedule resumes just after the
+   accepted attempt. The result is therefore bit-identical to
+   [Incremental.one_mge] for every pool size — only the number of
+   (idempotent, memoised) evaluations differs, tracked by
+   [parallel.incremental.wasted].
+
+   The skip test is monotone — a constant covered by a position's concept
+   stays covered as the support grows — so attempts consumed as covered
+   during batch collection never need re-offering.
+
+   The batch size adapts to the acceptance pattern (which is deterministic):
+   accepts reset it to the pool size, a fully rejected batch doubles it, so
+   the quiet tail of the schedule — where almost everything is rejected —
+   runs at full width while the accept-heavy start wastes little. *)
+
+let one_mge pool ~ctx ?(order = `Ascending) ?(shorten = true) wn =
+  let get_ctx = make_slots pool ~ctx in
+  let main_ctx = get_ctx 0 in
+  let st = Step.init main_ctx in
+  let attempts = Array.of_list (Step.attempts ~order wn) in
+  let n = Array.length attempts in
+  let size = Pool.size pool in
+  let max_batch = 8 * size in
+  let batch = Array.make max_batch 0 in
+  let results = Array.make max_batch None in
+  let batch_size = ref size in
+  let pos = ref 0 in
+  while !pos < n do
+    let k = ref 0 in
+    while !k < !batch_size && !pos < n do
+      let a = attempts.(!pos) in
+      incr pos;
+      if not (Step.covered main_ctx st a) then begin
+        batch.(!k) <- !pos - 1;
+        incr k
+      end
+    done;
+    let k = !k in
+    if k > 0 then begin
+      Obs.incr c_batches;
+      Array.fill results 0 k None;
+      Pool.run pool ~n:k (fun ~worker i ->
+          results.(i) <- Step.evaluate (get_ctx worker) st attempts.(batch.(i)));
+      let committed = ref false in
+      let i = ref 0 in
+      while (not !committed) && !i < k do
+        (match results.(!i) with
+         | Some upd ->
+           let j, _ = attempts.(batch.(!i)) in
+           Step.commit st j upd;
+           committed := true;
+           Obs.add c_wasted (k - !i - 1);
+           pos := batch.(!i) + 1
+         | None -> ());
+        incr i
+      done;
+      batch_size :=
+        if !committed then size else min max_batch (2 * !batch_size)
+    end
+  done;
+  let e = Step.finish main_ctx st in
+  if shorten then Step.shorten_explanation main_ctx e else e

@@ -1,0 +1,27 @@
+(** Algorithm 2 (Incremental Search) over a domain pool, by speculative
+    batch evaluation.
+
+    The sequential algorithm folds absorption attempts through a single
+    evolving state, so it cannot be partitioned; instead, the next K
+    pending attempts are evaluated concurrently against a frozen snapshot
+    and their verdicts replayed in schedule order, discarding everything
+    after the first acceptance. The computed explanation is bit-identical
+    to [Whynot_core.Incremental.one_mge] for every pool size and both lub
+    variants; only the number of (memoised) evaluations differs.
+
+    [ctx ~worker:w] must return the evaluation context for worker slot
+    [w]; slot [0] is the caller's context and its handle receives the
+    authoritative state. Worker contexts must wrap domain-private memo
+    handles ({!Whynot_concept.Subsume_memo.private_inst}); merge them back
+    with [Subsume_memo.absorb_inst] when the pool retires. The callback is
+    invoked at most once per slot, from that slot's own domain. *)
+
+val one_mge :
+  Pool.t ->
+  ctx:(worker:int -> Whynot_core.Incremental.Step.ctx) ->
+  ?order:[ `Ascending | `Descending ] ->
+  ?shorten:bool ->
+  Whynot_core.Whynot.t ->
+  Whynot_concept.Ls.t Whynot_core.Explanation.t
+(** Same contract (and same result) as [Incremental.one_mge]; the variant
+    is fixed by the contexts the factory returns. *)

@@ -1,0 +1,140 @@
+module Obs = Whynot_obs.Obs
+
+let c_runs =
+  Obs.counter "parallel.pool.runs" ~doc:"batches distributed over the pool"
+
+let c_items =
+  Obs.counter "parallel.pool.items" ~doc:"work items processed by the pool"
+
+(* One batch of work. Workers pull indices from [next] until it passes [n];
+   whoever completes the last index signals the pool's [done_cv]. *)
+type job = {
+  n : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  f : int -> int -> unit;  (* worker slot -> item index -> unit *)
+  first_error : exn option Atomic.t;
+}
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work_cv : Condition.t;  (* workers wait here between batches *)
+  done_cv : Condition.t;  (* the caller waits here for batch completion *)
+  mutable current : (int * job) option;  (* (epoch, job) *)
+  mutable epoch : int;
+  mutable closing : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let record_error job exn =
+  ignore (Atomic.compare_and_set job.first_error None (Some exn))
+
+(* Drain the shared cursor. Safe to call from several domains at once; the
+   caller participates through the same path as the spawned workers. *)
+let drain pool worker job =
+  let rec pull () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (try job.f worker i with exn -> record_error job exn);
+      Obs.incr c_items;
+      let finished = 1 + Atomic.fetch_and_add job.completed 1 in
+      if finished = job.n then
+        Mutex.protect pool.lock (fun () -> Condition.broadcast pool.done_cv);
+      pull ()
+    end
+  in
+  pull ()
+
+let worker_loop pool worker =
+  let last_epoch = ref 0 in
+  let rec loop () =
+    let action =
+      Mutex.protect pool.lock (fun () ->
+          let rec wait () =
+            if pool.closing then `Stop
+            else
+              match pool.current with
+              | Some (epoch, job) when epoch <> !last_epoch ->
+                last_epoch := epoch;
+                `Run job
+              | _ ->
+                Condition.wait pool.work_cv pool.lock;
+                wait ()
+          in
+          wait ())
+    in
+    match action with
+    | `Stop -> ()
+    | `Run job ->
+      drain pool worker job;
+      loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      size = domains;
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      epoch = 0;
+      closing = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (domains - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop pool (k + 1)));
+  pool
+
+let size t = t.size
+
+let run t ~n f =
+  if n > 0 then begin
+    Obs.incr c_runs;
+    if t.size = 1 then begin
+      (* No workers: plain loop, exceptions propagate directly. *)
+      for i = 0 to n - 1 do
+        f ~worker:0 i
+      done;
+      Obs.add c_items n
+    end
+    else begin
+      let job =
+        {
+          n;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+          f = (fun w i -> f ~worker:w i);
+          first_error = Atomic.make None;
+        }
+      in
+      Mutex.protect t.lock (fun () ->
+          t.epoch <- t.epoch + 1;
+          t.current <- Some (t.epoch, job);
+          Condition.broadcast t.work_cv);
+      drain t 0 job;
+      Mutex.protect t.lock (fun () ->
+          while Atomic.get job.completed < n do
+            Condition.wait t.done_cv t.lock
+          done);
+      match Atomic.get job.first_error with
+      | Some exn -> raise exn
+      | None -> ()
+    end
+  end
+
+let close t =
+  let domains =
+    Mutex.protect t.lock (fun () ->
+        t.closing <- true;
+        Condition.broadcast t.work_cv;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join domains

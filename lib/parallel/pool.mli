@@ -1,0 +1,37 @@
+(** A persistent pool of worker domains for the parallel MGE search.
+
+    The pool spawns its domains once and reuses them across runs, so the
+    per-run cost is a mutex handshake rather than a [Domain.spawn] (which
+    is far too slow to amortise over a single lattice sweep). The calling
+    domain participates as worker [0]; a pool created with [~domains:1]
+    spawns nothing and degenerates to a plain sequential loop, which is
+    what makes [DOMAINS=1] runs bit-identical to the sequential engine.
+
+    Work distribution is a shared atomic cursor over [0 .. n-1]: idle
+    workers steal the next undone index, so uneven item costs balance
+    without any static partitioning. Determinism is the {e caller's}
+    affair — [run] guarantees only that every index is processed exactly
+    once and that all effects of the run happen-before [run] returns. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** Total number of participating domains, including the caller. *)
+
+val run : t -> n:int -> (worker:int -> int -> unit) -> unit
+(** [run t ~n f] calls [f ~worker i] exactly once for every
+    [i ∈ 0 .. n-1], distributing indices over the pool; [worker] is the
+    stable slot (in [0 .. size-1]) of the domain executing the call, so
+    callers can keep per-worker scratch state (memo handles, contexts)
+    indexed by it. Blocks until all [n] indices are done. If any [f]
+    raises, the first exception (in completion order) is re-raised here
+    after the run drains; the others are dropped. Runs must not be nested
+    or issued concurrently. *)
+
+val close : t -> unit
+(** Shut the workers down and join them. Idempotent; the pool must not be
+    used afterwards. *)

@@ -43,15 +43,19 @@ module Intern (K : sig type t end) = struct
   let make counter =
     let table : int Tbl.t = Tbl.create 256 in
     let next = ref 0 in
+    (* Serialised like {!Ls.intern}: ids are memo keys shared across the
+       parallel engine's domains, so they must be globally unique. *)
+    let lock = Mutex.create () in
     fun k ->
-      match Tbl.find_opt table k with
-      | Some id -> id
-      | None ->
-        let id = !next in
-        Stdlib.incr next;
-        Whynot_obs.Obs.incr counter;
-        Tbl.add table k id;
-        id
+      Mutex.protect lock (fun () ->
+          match Tbl.find_opt table k with
+          | Some id -> id
+          | None ->
+            let id = !next in
+            Stdlib.incr next;
+            Whynot_obs.Obs.incr counter;
+            Tbl.add table k id;
+            id)
 end
 
 module Atom_intern = Intern (struct type nonrec t = atom end)

@@ -33,7 +33,7 @@ let tokenize src =
   let line = ref 1 in
   let toks = ref [] in
   let emit token = toks := { token; line = !line } :: !toks in
-  let error msg = Error (Printf.sprintf "line %d: %s" !line msg) in
+  let error msg = Error (`Parse (Printf.sprintf "line %d: %s" !line msg)) in
   let rec loop i =
     if i >= n then begin
       emit Eof;

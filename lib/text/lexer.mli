@@ -25,7 +25,8 @@ type located = {
   line : int;
 }
 
-val tokenize : string -> (located list, string) result
-(** Errors carry a line number and a short description. *)
+val tokenize : string -> (located list, Whynot_error.t) result
+(** Errors are [`Parse] and carry a line number and a short
+    description. *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -412,11 +412,11 @@ let rec items st doc =
 
 let parse src =
   match Lexer.tokenize src with
-  | Error msg -> Error msg
+  | Error _ as e -> e
   | Ok tokens ->
     let st = { tokens } in
     (try Ok (items st empty_document) with
-     | Parse_error msg -> Error msg)
+     | Parse_error msg -> Error (`Parse msg))
 
 let parse_file path =
   match
@@ -427,7 +427,7 @@ let parse_file path =
     s
   with
   | src -> parse src
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (`Missing_input msg)
 
 let schema_of doc =
   (* Declare view relations implicitly when missing. *)
@@ -446,8 +446,10 @@ let schema_of doc =
              })
       doc.views
   in
-  Schema.make ~fds:doc.fds ~inds:doc.inds ~views:doc.views
-    (doc.relations @ implicit)
+  Result.map_error
+    (fun msg -> `Parse ("schema: " ^ msg))
+    (Schema.make ~fds:doc.fds ~inds:doc.inds ~views:doc.views
+       (doc.relations @ implicit))
 
 let instance_of doc =
   let base =
@@ -465,8 +467,8 @@ let instance_of doc =
 
 let whynot_of doc =
   match doc.query, doc.whynot_tuple with
-  | None, _ -> Error "the document declares no query"
-  | _, None -> Error "the document declares no whynot tuple"
+  | None, _ -> Error (`Missing_input "the document declares no query")
+  | _, None -> Error (`Missing_input "the document declares no whynot tuple")
   | Some (_, q), Some missing ->
     let instance = instance_of doc in
     let schema = Result.to_option (schema_of doc) in
@@ -483,7 +485,7 @@ let obda_spec_of doc =
   if doc.tbox_axioms = [] && doc.mappings = [] then Ok None
   else
     match schema_of doc with
-    | Error msg -> Error msg
+    | Error _ as e -> e |> Result.map (fun _ -> None)
     | Ok schema ->
       (match
          Whynot_obda.Spec.make
@@ -491,20 +493,20 @@ let obda_spec_of doc =
            ~schema ~mappings:doc.mappings
        with
        | Ok spec -> Ok (Some spec)
-       | Error msg -> Error msg)
+       | Error msg -> Error (`Parse ("obda: " ^ msg)))
 
 (* --- standalone value lists and concept expressions --- *)
 
 let with_tokens src f =
   match Lexer.tokenize src with
-  | Error msg -> Error msg
+  | Error _ as e -> e
   | Ok tokens ->
     let st = { tokens } in
     (try
        let v = f st in
        expect st Lexer.Eof "trailing input";
        Ok v
-     with Parse_error msg -> Error msg)
+     with Parse_error msg -> Error (`Parse msg))
 
 let values_of_string src = with_tokens src (fun st -> comma_separated st value)
 
@@ -513,7 +515,7 @@ let program_of doc =
   else
     match Whynot_datalog.Program.make doc.rules with
     | Ok p -> Ok (Some p)
-    | Error msg -> Error msg
+    | Error msg -> Error (`Parse ("datalog: " ^ msg))
 
 (* [Rel.attr] arrives from the lexer as a single identifier (idents may
    contain dots); split at the last dot. *)

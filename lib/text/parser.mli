@@ -51,35 +51,37 @@ type document = {
     (** possibly recursive Datalog rules ([rule P(x) := ..., !Q(x)]) *)
 }
 
-val parse : string -> (document, string) result
+val parse : string -> (document, Whynot_error.t) result
+(** Lexer and grammar failures are [`Parse] with a [line N] prefix. *)
 
-val parse_file : string -> (document, string) result
+val parse_file : string -> (document, Whynot_error.t) result
+(** Additionally [`Missing_input] when the file cannot be read. *)
 
-val schema_of : document -> (Schema.t, string) result
+val schema_of : document -> (Schema.t, Whynot_error.t) result
 
 val instance_of : document -> Instance.t
 (** The facts, with the document's views materialised when the schema is
     well-formed. *)
 
-val whynot_of : document -> (Whynot_core.Whynot.t, string) result
+val whynot_of : document -> (Whynot_core.Whynot.t, Whynot_error.t) result
 (** Requires a query and a whynot tuple. *)
 
 val hand_ontology_of : document -> string Whynot_core.Ontology.t option
 (** [Some] iff the document declares at least one concept extension. *)
 
-val obda_spec_of : document -> (Whynot_obda.Spec.t option, string) result
+val obda_spec_of : document -> (Whynot_obda.Spec.t option, Whynot_error.t) result
 (** [Some] iff the document declares TBox axioms or mappings. *)
 
 val program_of :
-  document -> (Whynot_datalog.Program.t option, string) result
+  document -> (Whynot_datalog.Program.t option, Whynot_error.t) result
 (** The document's [rule] items as a validated (safe, stratified) Datalog
     program; [None] when there are no rules. *)
 
-val values_of_string : string -> (Value.t list, string) result
+val values_of_string : string -> (Value.t list, Whynot_error.t) result
 (** Parse a comma-separated constant list, e.g. ["Amsterdam", 7]. *)
 
 val concept_of_string :
-  document -> string -> (Whynot_concept.Ls.t, string) result
+  document -> string -> (Whynot_concept.Ls.t, Whynot_error.t) result
 (** Parse an [L_S] concept expression:
 
     {v

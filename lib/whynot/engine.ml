@@ -1,0 +1,192 @@
+open Whynot_relational
+module W = Whynot_core.Whynot
+module Ontology = Whynot_core.Ontology
+module Incremental = Whynot_core.Incremental
+module Exhaustive = Whynot_core.Exhaustive
+module Schema_mge = Whynot_core.Schema_mge
+module Subsume_memo = Whynot_concept.Subsume_memo
+module Pool = Whynot_parallel.Pool
+module Par_exhaustive = Whynot_parallel.Par_exhaustive
+module Par_incremental = Whynot_parallel.Par_incremental
+module Obs = Whynot_obs.Obs
+
+type t = {
+  schema : Schema.t option;
+  instance : Instance.t;
+  pool : Pool.t;
+  (* Slot 0 is the shared interned handle; slots 1.. are domain-private.
+     Workers warm their private caches during a parallel run, and the
+     verdicts are merged back into slot 0 when the run retires. *)
+  inst_handles : Subsume_memo.inst array;
+  schema_handles : Subsume_memo.schema array option;
+  mutable closed : bool;
+}
+
+let create ?schema ?(domains = 1) ~instance () =
+  if domains < 1 then
+    Error
+      (`Invalid_config
+         (Printf.sprintf "Engine.create: domains must be >= 1 (got %d)" domains))
+  else
+    let inst_handles =
+      Array.init domains (fun w ->
+          if w = 0 then Subsume_memo.inst instance
+          else Subsume_memo.private_inst instance)
+    in
+    let schema_handles =
+      Option.map
+        (fun s ->
+           Array.init domains (fun w ->
+               if w = 0 then Subsume_memo.schema s
+               else Subsume_memo.private_schema s))
+        schema
+    in
+    Ok
+      {
+        schema;
+        instance;
+        pool = Pool.create ~domains;
+        inst_handles;
+        schema_handles;
+        closed = false;
+      }
+
+let domains e = Pool.size e.pool
+let schema e = e.schema
+let instance e = e.instance
+let is_closed e = e.closed
+
+let guard e k =
+  if e.closed then Error (`Invalid_config "the engine has been closed")
+  else k ()
+
+let own_question e wn k =
+  if wn.W.instance == e.instance then k ()
+  else
+    Error
+      (`Invalid_config
+         "the why-not question was not built over this engine's instance")
+
+(* Merge every domain-private verdict cache back into the shared handle, so
+   later operations (sequential or parallel) start warm. *)
+let join_caches e =
+  let shared = e.inst_handles.(0) in
+  Array.iteri
+    (fun w h -> if w > 0 then Subsume_memo.absorb_inst ~into:shared h)
+    e.inst_handles;
+  Option.iter
+    (fun hs ->
+       Array.iteri
+         (fun w h -> if w > 0 then Subsume_memo.absorb_schema ~into:hs.(0) h)
+         hs)
+    e.schema_handles
+
+let joined e r =
+  join_caches e;
+  r
+
+let question ?answers e ~query ~missing () =
+  guard e (fun () ->
+      W.make ?schema:e.schema ?answers ~instance:e.instance ~query ~missing ())
+
+let pool_of ?values wn =
+  match values with Some v -> v | None -> W.constant_pool wn
+
+(* Per-worker O_I[K]: the concept list is enumerated once (on the calling
+   domain) and shared; only the memoised [mem]/[subsumes] closures differ
+   per slot. *)
+let instance_ontology e values =
+  let proto =
+    Ontology.of_instance_finite ~handle:e.inst_handles.(0) e.instance values
+  in
+  fun ~worker ->
+    if worker = 0 then proto
+    else
+      {
+        (Ontology.of_instance ~handle:e.inst_handles.(worker) e.instance) with
+        Ontology.name = proto.Ontology.name;
+        concepts = proto.Ontology.concepts;
+      }
+
+let schema_ontology e sch shs fragment values =
+  let minimal_only = match fragment with `Minimal -> true | _ -> false in
+  let proto =
+    Ontology.of_schema_finite ~minimal_only ~schema_handle:shs.(0)
+      ~handle:e.inst_handles.(0) sch e.instance values
+  in
+  fun ~worker ->
+    if worker = 0 then proto
+    else
+      {
+        (Ontology.of_schema ~schema_handle:shs.(worker)
+           ~handle:e.inst_handles.(worker) sch e.instance)
+        with
+        Ontology.name = proto.Ontology.name;
+        concepts = proto.Ontology.concepts;
+      }
+
+(* --- Algorithm 2 (incremental, w.r.t. O_I) --- *)
+
+let one_mge ?(variant = Incremental.Selection_free) ?order ?shorten e wn =
+  guard e (fun () ->
+      own_question e wn (fun () ->
+          let ctx ~worker =
+            Incremental.Step.make_ctx ~handle:e.inst_handles.(worker) ~variant
+              wn
+          in
+          joined e
+            (Ok (Par_incremental.one_mge e.pool ~ctx ?order ?shorten wn))))
+
+let check_mge ?(variant = Incremental.Selection_free) e wn ex =
+  guard e (fun () ->
+      own_question e wn (fun () -> Ok (Incremental.check_mge ~variant wn ex)))
+
+(* --- Algorithm 1 (exhaustive, w.r.t. finite ontologies) --- *)
+
+let all_mges ?values e wn =
+  guard e (fun () ->
+      own_question e wn (fun () ->
+          let ontology = instance_ontology e (pool_of ?values wn) in
+          joined e (Par_exhaustive.all_mges e.pool ~ontology wn)))
+
+let exists_explanation ?values e wn =
+  guard e (fun () ->
+      own_question e wn (fun () ->
+          let ontology = instance_ontology e (pool_of ?values wn) in
+          joined e (Par_exhaustive.exists_explanation e.pool ~ontology wn)))
+
+let one_mge_exhaustive ?values e wn =
+  guard e (fun () ->
+      own_question e wn (fun () ->
+          let ontology = instance_ontology e (pool_of ?values wn) in
+          joined e (Par_exhaustive.one_mge e.pool ~ontology wn)))
+
+let all_mges_schema ?(fragment = `Minimal) ?values e wn =
+  guard e (fun () ->
+      own_question e wn (fun () ->
+          match (e.schema, e.schema_handles) with
+          | Some sch, Some shs ->
+            let ontology = schema_ontology e sch shs fragment (pool_of ?values wn) in
+            joined e (Par_exhaustive.all_mges e.pool ~ontology wn)
+          | _ ->
+            Error
+              (`Missing_input
+                 "schema-level explanation requires an engine created with a \
+                  schema")))
+
+let all_mges_finite e o wn =
+  guard e (fun () ->
+      Par_exhaustive.all_mges e.pool ~ontology:(fun ~worker:_ -> o) wn)
+
+(* --- observability and shutdown --- *)
+
+let counters (_ : t) = Obs.snapshot ()
+
+let close e =
+  if not e.closed then begin
+    e.closed <- true;
+    join_caches e;
+    Subsume_memo.clear ();
+    Pool.close e.pool
+  end;
+  Ok ()

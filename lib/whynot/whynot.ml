@@ -1,0 +1,9 @@
+(** The top-level facade: [Whynot.Engine] for computing explanations,
+    [Whynot.Error] for the shared error type, [Whynot.Json] for the CLI's
+    versioned output envelope. The sub-libraries ([Whynot_core],
+    [Whynot_concept], ...) remain available for callers that need the
+    individual algorithms. *)
+
+module Error = Whynot_error
+module Engine = Engine
+module Json = Wjson

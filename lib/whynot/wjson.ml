@@ -1,0 +1,88 @@
+(* Hand-rolled JSON values for the CLI envelope and reports; the repo
+   deliberately avoids a JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float x ->
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" x)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ',';
+         write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         write buf (String k);
+         Buffer.add_char buf ':';
+         write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* --- the versioned CLI envelope --- *)
+
+let schema_version = 2
+
+let envelope ~command result =
+  Obj
+    [
+      ("schema_version", Int schema_version);
+      ("command", String command);
+      ("result", result);
+    ]
+
+let error_envelope ~command err =
+  Obj
+    [
+      ("schema_version", Int schema_version);
+      ("command", String command);
+      ( "error",
+        Obj
+          [
+            ("code", String (Whynot_error.code err));
+            ("message", String (Whynot_error.message err));
+          ] );
+    ]

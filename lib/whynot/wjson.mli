@@ -1,0 +1,26 @@
+(** Minimal JSON values (the repo carries no JSON dependency) and the
+    versioned envelope every CLI subcommand prints:
+
+    {v {"schema_version": 2, "command": "...", "result": ...}
+       {"schema_version": 2, "command": "...", "error": {"code", "message"}} v} *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialisation with escaped strings. *)
+
+val schema_version : int
+(** The current envelope version: [2]. *)
+
+val envelope : command:string -> t -> t
+(** Success envelope wrapping a [result]. *)
+
+val error_envelope : command:string -> Whynot_error.t -> t
+(** Error envelope with the error's kebab-case [code] and message. *)

@@ -52,29 +52,29 @@ let test_example_3_4_mge () =
      exhaustive search additionally finds <City, East-Coast-City>, which the
      paper's example does not list (its product also misses q(I), and City
      cannot be upgraded further) — see EXPERIMENTS.md. *)
-  let mges = Exhaustive.all_mges o wn in
+  let mges = Exhaustive.all_mges_exn o wn in
   Alcotest.(check int) "exactly two MGEs" 2 (List.length mges);
   Alcotest.(check bool) "E4 among them" true
     (List.exists (fun e -> e = [ "European-City"; "US-City" ]) mges);
   Alcotest.(check bool) "<City, East-Coast-City> among them" true
     (List.exists (fun e -> e = [ "City"; "East-Coast-City" ]) mges);
   Alcotest.(check bool) "check_mge accepts E4" true
-    (Exhaustive.check_mge o wn [ "European-City"; "US-City" ]);
+    (Exhaustive.check_mge_exn o wn [ "European-City"; "US-City" ]);
   Alcotest.(check bool) "check_mge rejects E1" false
-    (Exhaustive.check_mge o wn [ "Dutch-City"; "East-Coast-City" ]);
-  Alcotest.(check bool) "exists" true (Exhaustive.exists_explanation o wn);
-  (match Exhaustive.one_mge o wn with
+    (Exhaustive.check_mge_exn o wn [ "Dutch-City"; "East-Coast-City" ]);
+  Alcotest.(check bool) "exists" true (Exhaustive.exists_explanation_exn o wn);
+  (match Exhaustive.one_mge_exn o wn with
    | Some e -> Alcotest.(check bool) "one_mge is most general" true
-                 (Exhaustive.check_mge o wn e)
+                 (Exhaustive.check_mge_exn o wn e)
    | None -> Alcotest.fail "one_mge found nothing");
   (* Pruned and unpruned agree. *)
-  let unpruned = Exhaustive.all_mges_unpruned o wn in
+  let unpruned = Exhaustive.all_mges_unpruned_exn o wn in
   Alcotest.(check int) "unpruned agrees" 2 (List.length unpruned)
 
 let test_consistency_fig3 () =
   let probes = Value_set.elements (Whynot.constant_pool whynot_cities) in
   Alcotest.(check int) "instance consistent with figure 3 ontology" 0
-    (List.length (Ontology.consistency_violations hand_ontology probes))
+    (List.length (Ontology.consistency_violations_exn hand_ontology probes))
 
 (* ------------------------------------------------------------------ *)
 (* Example 4.5: the OBDA-induced ontology of Figure 4                  *)
@@ -95,10 +95,10 @@ let test_example_4_5_mge () =
   Alcotest.(check bool) "E4" true (is_expl [ a "Dutch-City"; a "US-City" ]);
   (* "Among the four explanations above, E1 is the most general." *)
   Alcotest.(check bool) "E1 is most general" true
-    (Exhaustive.check_mge o wn [ a "EU-City"; a "N.A.-City" ]);
+    (Exhaustive.check_mge_exn o wn [ a "EU-City"; a "N.A.-City" ]);
   Alcotest.(check bool) "E4 is not" false
-    (Exhaustive.check_mge o wn [ a "Dutch-City"; a "US-City" ]);
-  let mges = Exhaustive.all_mges o wn in
+    (Exhaustive.check_mge_exn o wn [ a "Dutch-City"; a "US-City" ]);
+  let mges = Exhaustive.all_mges_exn o wn in
   Alcotest.(check bool) "E1 among all MGEs" true
     (List.exists
        (fun e -> Explanation.equivalent o e [ a "EU-City"; a "N.A.-City" ])
@@ -213,7 +213,7 @@ let test_schema_mge_minimal () =
      Alcotest.(check bool) "is explanation" true
        (Explanation.is_explanation o wn e);
      Alcotest.(check bool) "is most general in O_S[K]-min" true
-       (Exhaustive.check_mge o wn e))
+       (Exhaustive.check_mge_exn o wn e))
 
 (* ------------------------------------------------------------------ *)
 (* §6: cardinality, shortest, strong                                  *)
@@ -221,7 +221,7 @@ let test_schema_mge_minimal () =
 
 let test_cardinality () =
   let o = hand_ontology and wn = whynot_cities in
-  (match Cardinality.maximal o wn with
+  (match Cardinality.maximal_exn o wn with
    | None -> Alcotest.fail "explanation exists"
    | Some e ->
      let d = Option.get (Cardinality.degree o wn e) in
@@ -230,7 +230,7 @@ let test_cardinality () =
         two preference orders genuinely diverge (§6). *)
      Alcotest.(check int) "max degree 9" 9 d;
      (* Greedy achieves the optimum on this easy instance. *)
-     (match Cardinality.greedy o wn with
+     (match Cardinality.greedy_exn o wn with
       | None -> Alcotest.fail "greedy found nothing"
       | Some g ->
         Alcotest.(check int) "greedy degree" 9
@@ -357,15 +357,15 @@ let test_reduction_faithful () =
    | None -> Alcotest.fail "cover exists");
   let g2 = Reduction.build sc ~slots:2 in
   Alcotest.(check bool) "explanation exists with 2 slots" true
-    (Exhaustive.exists_explanation g2.Reduction.ontology g2.Reduction.whynot);
+    (Exhaustive.exists_explanation_exn g2.Reduction.ontology g2.Reduction.whynot);
   let g1 = Reduction.build sc ~slots:1 in
   Alcotest.(check bool) "no explanation with 1 slot" false
-    (Exhaustive.exists_explanation g1.Reduction.ontology g1.Reduction.whynot);
+    (Exhaustive.exists_explanation_exn g1.Reduction.ontology g1.Reduction.whynot);
   (* Round-trip: a cover gives an explanation and vice versa. *)
   let e = Reduction.sets_to_explanation ~slots:2 [ "A"; "C" ] in
   Alcotest.(check bool) "cover -> explanation" true
     (Explanation.is_explanation g2.Reduction.ontology g2.Reduction.whynot e);
-  (match Exhaustive.one_mge g2.Reduction.ontology g2.Reduction.whynot with
+  (match Exhaustive.one_mge_exn g2.Reduction.ontology g2.Reduction.whynot with
    | None -> Alcotest.fail "mge exists"
    | Some e ->
      Alcotest.(check bool) "explanation -> cover" true
@@ -383,7 +383,7 @@ let prop_reduction_equivalence =
        List.for_all
          (fun slots ->
             let g = Reduction.build sc ~slots in
-            Exhaustive.exists_explanation g.Reduction.ontology
+            Exhaustive.exists_explanation_exn g.Reduction.ontology
               g.Reduction.whynot
             = Setcover.exists_cover_of_size sc slots)
          [ 1; 2; 3 ])
@@ -460,9 +460,9 @@ let prop_exhaustive_mges_incomparable =
           Ontology.of_instance_finite wn.Whynot.instance
             (Whynot.constant_pool wn)
         in
-        let mges = Exhaustive.all_mges o wn in
+        let mges = Exhaustive.all_mges_exn o wn in
         List.for_all (fun e -> Explanation.is_explanation o wn e) mges
-        && List.for_all (fun e -> Exhaustive.check_mge o wn e) mges
+        && List.for_all (fun e -> Exhaustive.check_mge_exn o wn e) mges
         && List.for_all
              (fun e ->
                 List.for_all
@@ -488,7 +488,7 @@ let prop_pruned_equals_unpruned =
                (fun e -> List.exists (Explanation.equivalent o e) es')
                es
         in
-        same (Exhaustive.all_mges o wn) (Exhaustive.all_mges_unpruned o wn))
+        same (Exhaustive.all_mges_exn o wn) (Exhaustive.all_mges_unpruned_exn o wn))
 
 let prop_cardinality_greedy_leq_exact =
   QCheck2.Test.make ~name:"greedy degree <= exact maximal degree" ~count:40
@@ -498,8 +498,8 @@ let prop_cardinality_greedy_leq_exact =
        let sc = Setcover.random ~seed ~n_elements ~n_sets ~density:0.5 () in
        let g = Reduction.build sc ~slots:2 in
        match
-         ( Cardinality.greedy g.Reduction.ontology g.Reduction.whynot,
-           Cardinality.maximal g.Reduction.ontology g.Reduction.whynot )
+         ( Cardinality.greedy_exn g.Reduction.ontology g.Reduction.whynot,
+           Cardinality.maximal_exn g.Reduction.ontology g.Reduction.whynot )
        with
        | None, None -> true
        | Some _, None -> false
@@ -599,7 +599,7 @@ let test_schema_mge_selection_free_fragment () =
   | Some e ->
     let o = Schema_mge.ontology `Selection_free schema wn in
     Alcotest.(check bool) "is explanation" true (Explanation.is_explanation o wn e);
-    Alcotest.(check bool) "is MGE in the fragment" true (Exhaustive.check_mge o wn e)
+    Alcotest.(check bool) "is MGE in the fragment" true (Exhaustive.check_mge_exn o wn e)
 
 let test_strong_views_only_complete () =
   (* On a views-only schema the strong verdict is complete (never Unknown):
@@ -636,7 +636,7 @@ let test_strong_views_only_complete () =
     (Strong.decide_wrt_schema schema wn [ small ] = Strong.Not_strong)
 
 let test_ranked () =
-  let ranked = Cardinality.ranked hand_ontology whynot_cities in
+  let ranked = Cardinality.ranked_exn hand_ontology whynot_cities in
   Alcotest.(check int) "two MGEs ranked" 2 (List.length ranked);
   (match ranked with
    | (e, d) :: (_, d') :: _ ->
@@ -652,8 +652,8 @@ let test_ranked () =
 let test_lazy_enumeration () =
   let o = hand_ontology and wn = whynot_cities in
   (* The stream agrees with the batch computation. *)
-  let streamed = List.of_seq (Exhaustive.mges_seq o wn) in
-  let batch = Exhaustive.all_mges o wn in
+  let streamed = List.of_seq (Exhaustive.mges_seq_exn o wn) in
+  let batch = Exhaustive.all_mges_exn o wn in
   Alcotest.(check int) "same count" (List.length batch) (List.length streamed);
   List.iter
     (fun e ->
@@ -661,12 +661,12 @@ let test_lazy_enumeration () =
          (List.exists (Explanation.equivalent o e) batch))
     streamed;
   (* Taking just the first element does not force the rest. *)
-  (match Seq.uncons (Exhaustive.mges_seq o wn) with
+  (match Seq.uncons (Exhaustive.mges_seq_exn o wn) with
    | Some (e, _) ->
-     Alcotest.(check bool) "first is an MGE" true (Exhaustive.check_mge o wn e)
+     Alcotest.(check bool) "first is an MGE" true (Exhaustive.check_mge_exn o wn e)
    | None -> Alcotest.fail "an MGE exists");
   (* All explanations stream: count matches a brute-force filter. *)
-  let n_expl = Seq.length (Exhaustive.explanations_seq o wn) in
+  let n_expl = Seq.length (Exhaustive.explanations_seq_exn o wn) in
   Alcotest.(check bool) "at least the 4 named + 2 MGEs" true (n_expl >= 5)
 
 let prop_lazy_agrees =
@@ -677,8 +677,8 @@ let prop_lazy_agrees =
        let sc = Setcover.random ~seed ~n_elements ~n_sets ~density:0.5 () in
        let g = Reduction.build sc ~slots:2 in
        let o = g.Reduction.ontology and wn = g.Reduction.whynot in
-       let streamed = List.of_seq (Exhaustive.mges_seq o wn) in
-       let batch = Exhaustive.all_mges o wn in
+       let streamed = List.of_seq (Exhaustive.mges_seq_exn o wn) in
+       let batch = Exhaustive.all_mges_exn o wn in
        List.length streamed = List.length batch
        && List.for_all
             (fun e -> List.exists (Explanation.equivalent o e) batch)

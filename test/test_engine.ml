@@ -1,0 +1,274 @@
+(* Unit tests for the Whynot.Engine facade: the error paths return
+   [Error _] values instead of raising, parallel searches agree with their
+   sequential counterparts for every domain count, observability counters
+   aggregate the per-domain stripes, and [close] flushes the memo
+   registries and bricks the engine.
+
+   The domain count used by the cross-domain tests honours the DOMAINS
+   environment variable (as CI sets it), so `DOMAINS=4 dune runtest`
+   exercises genuinely parallel runs. *)
+
+module Engine = Whynot.Engine
+module Error = Whynot.Error
+
+open Whynot_relational
+open Whynot_core
+module Ls = Whynot_concept.Ls
+module Obs = Whynot_obs.Obs
+module Cities = Whynot_workload.Cities
+
+let env_domains =
+  match Sys.getenv_opt "DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> 2)
+  | None -> 2
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Error.to_string e)
+
+let code = function
+  | Ok _ -> "ok"
+  | Error e -> Error.code e
+
+let with_engine ?schema ?(domains = env_domains) f =
+  let engine =
+    get (Engine.create ?schema ~domains ~instance:Cities.instance ())
+  in
+  Fun.protect ~finally:(fun () -> ignore (Engine.close engine)) @@ fun () ->
+  f engine
+
+let cities_question engine =
+  get
+    (Engine.question engine ~query:Cities.two_hop_query
+       ~missing:Cities.missing_tuple ())
+
+(* --- error paths --- *)
+
+let test_create_invalid_domains () =
+  Alcotest.(check string)
+    "domains = 0 rejected" "invalid-config"
+    (code (Engine.create ~domains:0 ~instance:Cities.instance ()));
+  Alcotest.(check string)
+    "domains = -3 rejected" "invalid-config"
+    (code (Engine.create ~domains:(-3) ~instance:Cities.instance ()))
+
+let test_question_arity_mismatch () =
+  with_engine @@ fun engine ->
+  Alcotest.(check string)
+    "1 value against a 2-ary head" "invalid-whynot"
+    (code
+       (Engine.question engine ~query:Cities.two_hop_query
+          ~missing:[ Cities.amsterdam ] ()))
+
+let test_question_tuple_is_answer () =
+  with_engine @@ fun engine ->
+  Alcotest.(check string)
+    "an actual answer is not missing" "invalid-whynot"
+    (code
+       (Engine.question engine ~query:Cities.two_hop_query
+          ~missing:[ Cities.amsterdam; Cities.rome ] ()))
+
+let test_schema_ops_need_schema () =
+  with_engine @@ fun engine ->
+  let wn = cities_question engine in
+  Alcotest.(check string)
+    "all_mges_schema without a schema" "missing-input"
+    (code (Engine.all_mges_schema engine wn))
+
+let test_infinite_ontology_rejected () =
+  with_engine @@ fun engine ->
+  let wn = cities_question engine in
+  let infinite = Ontology.of_instance Cities.instance in
+  Alcotest.(check string)
+    "all_mges_finite on O_I" "infinite-ontology"
+    (code (Engine.all_mges_finite engine infinite wn))
+
+let test_foreign_question_rejected () =
+  with_engine @@ fun engine ->
+  (* A structurally identical question over a *different* instance value
+     must be refused: the engine's memo handles are keyed to its own
+     instance. *)
+  let other = Instance.add_fact "Extra" [ Value.int 1 ] Cities.instance in
+  let wn =
+    get
+      (Whynot.make ~instance:other ~query:Cities.two_hop_query
+         ~missing:Cities.missing_tuple ())
+  in
+  Alcotest.(check string)
+    "question built over another instance" "invalid-config"
+    (code (Engine.one_mge engine wn))
+
+(* --- parallel = sequential, across domain counts --- *)
+
+let test_one_mge_matches_sequential () =
+  let seq =
+    let wn =
+      Whynot.make_exn ~instance:Cities.instance ~query:Cities.two_hop_query
+        ~missing:Cities.missing_tuple ()
+    in
+    Incremental.one_mge wn
+  in
+  List.iter
+    (fun domains ->
+       with_engine ~domains @@ fun engine ->
+       let wn = cities_question engine in
+       let par = get (Engine.one_mge engine wn) in
+       Alcotest.(check int)
+         (Printf.sprintf "length at domains=%d" domains)
+         (List.length seq) (List.length par);
+       Alcotest.(check bool)
+         (Printf.sprintf "concepts equal at domains=%d" domains)
+         true
+         (List.for_all2 Ls.equal seq par))
+    [ 1; env_domains; env_domains + 1 ]
+
+let test_all_mges_matches_sequential () =
+  let o = Ontology.of_instance_finite Cities.instance
+      (Whynot.constant_pool
+         (Whynot.make_exn ~instance:Cities.instance
+            ~query:Cities.two_hop_query ~missing:Cities.missing_tuple ()))
+  in
+  let seq =
+    Exhaustive.all_mges_exn o
+      (Whynot.make_exn ~instance:Cities.instance ~query:Cities.two_hop_query
+         ~missing:Cities.missing_tuple ())
+  in
+  List.iter
+    (fun domains ->
+       with_engine ~domains @@ fun engine ->
+       let wn = cities_question engine in
+       let par = get (Engine.all_mges engine wn) in
+       Alcotest.(check int)
+         (Printf.sprintf "MGE count at domains=%d" domains)
+         (List.length seq) (List.length par);
+       List.iter2
+         (fun e e' ->
+            Alcotest.(check bool)
+              (Printf.sprintf "equivalent at domains=%d" domains)
+              true
+              (Explanation.equivalent o e e'))
+         seq par;
+       Alcotest.(check bool) "an explanation exists" true
+         (get (Engine.exists_explanation engine wn));
+       match get (Engine.one_mge_exhaustive engine wn) with
+       | None -> Alcotest.fail "one_mge_exhaustive found nothing"
+       | Some e ->
+         Alcotest.(check bool) "witness is an MGE" true
+           (List.exists (Explanation.equivalent o e) seq))
+    [ 1; env_domains ]
+
+let test_schema_mges_match_sequential () =
+  let wn_seq =
+    Whynot.make_exn ~schema:Cities.schema ~instance:Cities.instance
+      ~query:Cities.two_hop_query ~missing:Cities.missing_tuple ()
+  in
+  let seq = Schema_mge.all_mges_exn `Minimal Cities.schema wn_seq in
+  let o = Schema_mge.ontology `Minimal Cities.schema wn_seq in
+  with_engine ~schema:Cities.schema @@ fun engine ->
+  let wn = cities_question engine in
+  let par = get (Engine.all_mges_schema ~fragment:`Minimal engine wn) in
+  Alcotest.(check int) "schema MGE count" (List.length seq) (List.length par);
+  List.iter2
+    (fun e e' ->
+       Alcotest.(check bool) "schema MGEs equivalent" true
+         (Explanation.equivalent o e e'))
+    seq par
+
+let test_check_mge () =
+  with_engine @@ fun engine ->
+  let wn = cities_question engine in
+  let e = get (Engine.one_mge engine wn) in
+  Alcotest.(check bool) "one_mge's answer passes check_mge" true
+    (get (Engine.check_mge engine wn e))
+
+(* --- observability --- *)
+
+let test_counters_aggregate_across_domains () =
+  let domains = max 2 env_domains in
+  with_engine ~domains @@ fun engine ->
+  let wn = cities_question engine in
+  let before =
+    List.assoc_opt "parallel.pool.items" (Engine.counters engine)
+    |> Option.value ~default:0
+  in
+  ignore (get (Engine.all_mges engine wn));
+  let after =
+    List.assoc_opt "parallel.pool.items" (Engine.counters engine)
+    |> Option.value ~default:0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pool items counted after a domains=%d run (%d -> %d)"
+       domains before after)
+    true (after > before)
+
+(* --- shutdown --- *)
+
+let test_close_flushes_and_bricks () =
+  let engine =
+    get (Engine.create ~domains:env_domains ~instance:Cities.instance ())
+  in
+  let wn = cities_question engine in
+  ignore (get (Engine.one_mge engine wn));
+  let flushes0 = Obs.value (Obs.counter "memo.flushes") in
+  Alcotest.(check bool) "close succeeds" true
+    (Result.is_ok (Engine.close engine));
+  let flushes1 = Obs.value (Obs.counter "memo.flushes") in
+  Alcotest.(check bool)
+    (Printf.sprintf "close flushed the memo registries (%d -> %d)" flushes0
+       flushes1)
+    true (flushes1 > flushes0);
+  Alcotest.(check bool) "is_closed" true (Engine.is_closed engine);
+  Alcotest.(check bool) "close is idempotent" true
+    (Result.is_ok (Engine.close engine));
+  Alcotest.(check string) "one_mge after close" "invalid-config"
+    (code (Engine.one_mge engine wn));
+  Alcotest.(check string) "all_mges after close" "invalid-config"
+    (code (Engine.all_mges engine wn));
+  Alcotest.(check string) "question after close" "invalid-config"
+    (code
+       (Engine.question engine ~query:Cities.two_hop_query
+          ~missing:Cities.missing_tuple ()))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "create rejects bad domain counts" `Quick
+            test_create_invalid_domains;
+          Alcotest.test_case "question rejects arity mismatch" `Quick
+            test_question_arity_mismatch;
+          Alcotest.test_case "question rejects actual answers" `Quick
+            test_question_tuple_is_answer;
+          Alcotest.test_case "schema ops need a schema" `Quick
+            test_schema_ops_need_schema;
+          Alcotest.test_case "infinite ontologies rejected" `Quick
+            test_infinite_ontology_rejected;
+          Alcotest.test_case "foreign questions rejected" `Quick
+            test_foreign_question_rejected;
+        ] );
+      ( "parallel-vs-sequential",
+        [
+          Alcotest.test_case "one_mge (Algorithm 2)" `Quick
+            test_one_mge_matches_sequential;
+          Alcotest.test_case "all_mges (Algorithm 1)" `Quick
+            test_all_mges_matches_sequential;
+          Alcotest.test_case "all_mges_schema" `Quick
+            test_schema_mges_match_sequential;
+          Alcotest.test_case "check_mge accepts one_mge" `Quick
+            test_check_mge;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "counters aggregate across domains" `Quick
+            test_counters_aggregate_across_domains;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "close flushes and bricks the engine" `Quick
+            test_close_flushes_and_bricks;
+        ] );
+    ]

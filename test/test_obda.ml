@@ -209,20 +209,20 @@ let test_ontology_level_whynot () =
     Whynot_core.Obda_whynot.make induced ~query:q
       ~missing:[ Value.str "Amsterdam"; Value.str "New York" ]
   with
-  | Error msg -> Alcotest.failf "ontology why-not: %s" msg
+  | Error e -> Alcotest.failf "ontology why-not: %s" (Whynot_error.message e)
   | Ok wn ->
     Alcotest.(check int) "4 certain answers" 4
       (Relation.cardinal wn.Whynot_core.Whynot.answers);
     let o = Whynot_core.Ontology.of_obda induced in
     Alcotest.(check bool) "E1 is an MGE here too" true
-      (Whynot_core.Exhaustive.check_mge o wn
+      (Whynot_core.Exhaustive.check_mge_exn o wn
          [ Dl.Atom "EU-City"; Dl.Atom "N.A.-City" ]);
     (match
        Whynot_core.Obda_whynot.explain induced ~query:q
          ~missing:[ Value.str "Amsterdam"; Value.str "New York" ]
      with
      | Ok mges -> Alcotest.(check bool) "some MGEs" true (mges <> [])
-     | Error msg -> Alcotest.failf "explain: %s" msg)
+     | Error e -> Alcotest.failf "explain: %s" (Whynot_error.message e))
 
 let test_ontology_whynot_validation () =
   let bad_query =

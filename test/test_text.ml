@@ -5,6 +5,10 @@
 open Whynot_relational
 open Whynot_text
 
+(* Parser/lexer boundaries now return [Whynot_error.t]; tests report the
+   bare message (which keeps the "line N" prefix intact). *)
+let emsg = Whynot_error.message
+
 (* dune runtest runs from the test build directory; dune exec from the
    project root — accept either. *)
 let data_path file =
@@ -18,7 +22,7 @@ let cities_path = data_path "cities.whynot"
 let parse_ok src =
   match Parser.parse src with
   | Ok doc -> doc
-  | Error msg -> Alcotest.failf "parse error: %s" msg
+  | Error e -> Alcotest.failf "parse error: %s" (emsg e)
 
 let parse_err src =
   match Parser.parse src with
@@ -32,7 +36,7 @@ let parse_err src =
 let tokens_of src =
   match Lexer.tokenize src with
   | Ok toks -> List.map (fun t -> t.Lexer.token) toks
-  | Error msg -> Alcotest.failf "lexer error: %s" msg
+  | Error e -> Alcotest.failf "lexer error: %s" (emsg e)
 
 let test_lexer_basics () =
   Alcotest.(check bool) "idents and punctuation" true
@@ -59,7 +63,8 @@ let test_lexer_errors () =
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "unterminated string accepted");
   match Lexer.tokenize "a $ b" with
-  | Error msg ->
+  | Error e ->
+    let msg = emsg e in
     Alcotest.(check bool) "line number in message" true
       (String.length msg > 0 && String.sub msg 0 4 = "line")
   | Ok _ -> Alcotest.fail "bad character accepted"
@@ -147,14 +152,14 @@ let test_parse_errors () =
 let load_cities () =
   match Parser.parse_file cities_path with
   | Ok doc -> doc
-  | Error msg -> Alcotest.failf "cannot load %s: %s" cities_path msg
+  | Error e -> Alcotest.failf "cannot load %s: %s" cities_path (emsg e)
 
 let test_cities_document () =
   let doc = load_cities () in
   let schema =
     match Parser.schema_of doc with
     | Ok s -> s
-    | Error msg -> Alcotest.failf "schema: %s" msg
+    | Error e -> Alcotest.failf "schema: %s" (emsg e)
   in
   let inst = Parser.instance_of doc in
   (match Schema.satisfies schema inst with
@@ -166,19 +171,19 @@ let test_cities_document () =
   let wn =
     match Parser.whynot_of doc with
     | Ok wn -> wn
-    | Error msg -> Alcotest.failf "whynot: %s" msg
+    | Error e -> Alcotest.failf "whynot: %s" (emsg e)
   in
   Alcotest.(check int) "4 answers" 4 (Relation.cardinal wn.Whynot_core.Whynot.answers);
   (* Hand ontology gives the same MGEs as the programmatic Figure 3. *)
   (match Parser.hand_ontology_of doc with
    | None -> Alcotest.fail "hand ontology expected"
    | Some o ->
-     let mges = Whynot_core.Exhaustive.all_mges o wn in
+     let mges = Whynot_core.Exhaustive.all_mges_exn o wn in
      Alcotest.(check bool) "E4 found" true
        (List.exists (fun e -> e = [ "European-City"; "US-City" ]) mges));
   (* OBDA spec parses and E1-equivalent is an MGE. *)
   match Parser.obda_spec_of doc with
-  | Error msg -> Alcotest.failf "obda: %s" msg
+  | Error e -> Alcotest.failf "obda: %s" (emsg e)
   | Ok None -> Alcotest.fail "OBDA spec expected"
   | Ok (Some spec) ->
     let induced = Whynot_obda.Induced.prepare spec inst in
@@ -187,7 +192,7 @@ let test_cities_document () =
      | Error msg -> Alcotest.failf "inconsistent: %s" msg);
     let o = Whynot_core.Ontology.of_obda induced in
     Alcotest.(check bool) "E1 is an MGE" true
-      (Whynot_core.Exhaustive.check_mge o wn
+      (Whynot_core.Exhaustive.check_mge_exn o wn
          [ Whynot_dllite.Dl.Atom "EU-City"; Whynot_dllite.Dl.Atom "NA-City" ])
 
 (* ------------------------------------------------------------------ *)
@@ -199,7 +204,7 @@ let test_concept_expressions () =
   let parse src =
     match Parser.concept_of_string doc src with
     | Ok c -> c
-    | Error msg -> Alcotest.failf "concept parse: %s" msg
+    | Error e -> Alcotest.failf "concept parse: %s" (emsg e)
   in
   let c = parse {|Cities.name[continent = "Europe", population >= 5] & {"Rome"}|} in
   Alcotest.(check int) "two conjuncts" 2
@@ -244,7 +249,7 @@ let test_rules () =
      Alcotest.(check int) "Top derived" 2
        (Relation.cardinal (Option.get (Instance.relation out "Top")))
    | Ok None -> Alcotest.fail "program expected"
-   | Error msg -> Alcotest.failf "program: %s" msg);
+   | Error e -> Alcotest.failf "program: %s" (emsg e));
   (* Recursion through negation is rejected at program-building time. *)
   let bad = parse_ok "rule P(x) := E(x, x), !P(x)" in
   match Parser.program_of bad with
@@ -256,7 +261,7 @@ let test_values_of_string () =
    | Ok vs ->
      Alcotest.(check bool) "three values" true
        (vs = [ Value.Str "Amsterdam"; Value.Int 7; Value.Str "x" ])
-   | Error msg -> Alcotest.failf "values: %s" msg);
+   | Error e -> Alcotest.failf "values: %s" (emsg e));
   match Parser.values_of_string "1 2" with
   | Ok _ -> Alcotest.fail "missing comma accepted"
   | Error _ -> ()
@@ -281,7 +286,7 @@ let concept_fixpoint =
        let doc = parse_ok (Surface.document s Instance.empty) in
        let printed = Surface.concept s c in
        match Parser.concept_of_string doc printed with
-       | Error msg -> QCheck2.Test.fail_reportf "%s: %s" printed msg
+       | Error e -> QCheck2.Test.fail_reportf "%s: %s" printed (emsg e)
        | Ok c' ->
          (* Parsing the normal-form rendering is the identity, so a second
             print-parse cycle is a fixpoint. *)
@@ -298,13 +303,14 @@ let document_fixpoint =
        let text = Surface.document s inst in
        let doc = parse_ok text in
        match Parser.schema_of doc with
-       | Error msg -> QCheck2.Test.fail_reportf "schema_of: %s" msg
+       | Error e -> QCheck2.Test.fail_reportf "schema_of: %s" (emsg e)
        | Ok s' ->
          Surface.document s' (Parser.instance_of doc) = text)
 
 let check_error_line expected = function
   | Ok _ -> Alcotest.failf "expected an error mentioning %S" expected
-  | Error msg ->
+  | Error e ->
+    let msg = emsg e in
     let contains hay needle =
       let nh = String.length hay and nn = String.length needle in
       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
@@ -327,17 +333,17 @@ let test_error_positions () =
 
 let test_retail_document () =
   match Parser.parse_file (data_path "retail.whynot") with
-  | Error msg -> Alcotest.failf "retail document: %s" msg
+  | Error e -> Alcotest.failf "retail document: %s" (emsg e)
   | Ok doc ->
     let wn =
       match Parser.whynot_of doc with
       | Ok wn -> wn
-      | Error msg -> Alcotest.failf "whynot: %s" msg
+      | Error e -> Alcotest.failf "whynot: %s" (emsg e)
     in
     (match Parser.hand_ontology_of doc with
      | None -> Alcotest.fail "hand ontology expected"
      | Some o ->
-       let mges = Whynot_core.Exhaustive.all_mges o wn in
+       let mges = Whynot_core.Exhaustive.all_mges_exn o wn in
        Alcotest.(check bool) "<Audio, CaliforniaStore> is an MGE" true
          (List.exists
             (fun e -> e = [ "Audio"; "CaliforniaStore" ])
