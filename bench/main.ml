@@ -857,6 +857,103 @@ let par_bench () =
        speedup (Printf.sprintf "/ domains=%d" domains) seq_exh ns)
     domain_sweep
 
+(* ================================================================== *)
+(* EVAL: planned/indexed CQ evaluation vs the naive oracle             *)
+(* ================================================================== *)
+
+let eval_bench () =
+  header "EVAL" "Planned/indexed CQ evaluation kernel vs naive join";
+  row "  planned = Cq.eval (greedy plan over Eval_index, warm caches)@.";
+  row "  naive   = the retained pre-planner oracle (scan per atom)@.";
+  let speedup label naive planned =
+    match (naive, planned) with
+    | Some n, Some p when p > 0. ->
+      row "  speedup planned vs naive %-22s %.1fx@." label (n /. p)
+    | _ -> ()
+  in
+  row "-- Cities two-hop join, instance size sweep --@.";
+  List.iter
+    (fun n_cities ->
+       let _, inst =
+         Generate.cities_like ~n_cities ~n_countries:(max 2 (n_cities / 5))
+           ~n_connections:(2 * n_cities) ()
+       in
+       let q =
+         Cq.make
+           ~head:[ Cq.Var "x"; Cq.Var "y" ]
+           ~atoms:
+             [
+               { Cq.rel = "Train-Connections"; args = [ Cq.Var "x"; Cq.Var "z" ] };
+               { Cq.rel = "Train-Connections"; args = [ Cq.Var "z"; Cq.Var "y" ] };
+             ]
+           ()
+       in
+       (* Warm the plan and pattern indexes once so the planned row
+          measures the steady state the deciders actually run in. *)
+       ignore (Cq.eval q inst);
+       let params k = [ ("cities", float_of_int n_cities); ("kernel", k) ] in
+       let planned =
+         timed_ns ~params:(params 1.) "EVAL"
+           (Printf.sprintf "two-hop planned / cities=%d" n_cities)
+           (fun () -> Cq.eval q inst)
+       in
+       let naive =
+         timed_ns ~params:(params 0.) "EVAL"
+           (Printf.sprintf "two-hop naive / cities=%d" n_cities)
+           (fun () -> Whynot_proptest.Oracle.naive_eval q inst)
+       in
+       speedup (Printf.sprintf "/ cities=%d" n_cities) naive planned)
+    (sweep [ 40; 80; 160; 320 ]);
+  row "-- Retail three-way join (category constant, qty > 0), stock sweep --@.";
+  List.iter
+    (fun n_stock ->
+       let inst =
+         Generate.retail_like ~n_products:(max 10 (n_stock / 10))
+           ~n_stores:50 ~n_stock ()
+       in
+       let q = Generate.retail_join_query ~category:"audio" in
+       (* The facade route: create the handle once, query it repeatedly. *)
+       let idx = Whynot_eval.index inst in
+       ignore (Whynot_eval.query idx q);
+       let params k = [ ("stock", float_of_int n_stock); ("kernel", k) ] in
+       let planned =
+         timed_ns ~params:(params 1.) "EVAL"
+           (Printf.sprintf "retail join planned / stock=%d" n_stock)
+           (fun () -> Whynot_eval.query idx q)
+       in
+       let naive =
+         timed_ns ~params:(params 0.) "EVAL"
+           (Printf.sprintf "retail join naive / stock=%d" n_stock)
+           (fun () -> Whynot_proptest.Oracle.naive_eval q inst)
+       in
+       speedup (Printf.sprintf "/ stock=%d" n_stock) naive planned)
+    (sweep [ 500; 1000; 2000; 4000 ]);
+  row "-- Boolean short-circuit: holds on the first witness --@.";
+  let _, inst =
+    Generate.cities_like ~n_cities:160 ~n_countries:32 ~n_connections:320 ()
+  in
+  let q_bool =
+    Cq.make ~head:[]
+      ~atoms:
+        [
+          { Cq.rel = "Train-Connections"; args = [ Cq.Var "x"; Cq.Var "z" ] };
+          { Cq.rel = "Train-Connections"; args = [ Cq.Var "z"; Cq.Var "y" ] };
+        ]
+      ()
+  in
+  ignore (Cq.holds q_bool inst);
+  let holds_t =
+    timed_ns ~params:[ ("cities", 160.); ("kernel", 1.) ] "EVAL"
+      "boolean holds (short-circuit)"
+      (fun () -> Cq.holds q_bool inst)
+  in
+  let eval_t =
+    timed_ns ~params:[ ("cities", 160.); ("kernel", 1.) ] "EVAL"
+      "boolean via full eval"
+      (fun () -> not (Relation.is_empty (Cq.eval q_bool inst)))
+  in
+  speedup "holds vs full eval" eval_t holds_t
+
 let () =
   Format.printf "why-not explanations: benchmark harness@.";
   Format.printf "(experiment ids refer to DESIGN.md / EXPERIMENTS.md)@.";
@@ -872,6 +969,7 @@ let () =
   alg2_sigma ();
   memo_bench ();
   par_bench ();
+  eval_bench ();
   p4_2 ();
   p6_2 ();
   p6_4 ();

@@ -29,19 +29,20 @@ let ext_cardinality = function
 
 let ext_equal e1 e2 = ext_subset e1 e2 && ext_subset e2 e1
 
+(* [pi_attr(sigma_sels(rel))] answered from the interned {!Eval_index}
+   handle's per-column value indexes instead of a full-relation
+   [Relation.select] scan. The scan version is preserved in
+   [Whynot_proptest.Oracle.scan_conjunct_ext] and pinned against this one
+   by the [ext/indexed-equals-scan] differential property. *)
 let conjunct_ext c inst =
   match c with
   | Ls.Nominal v -> Fin (Value_set.singleton v)
   | Ls.Proj { rel; attr; sels } ->
-    (match Instance.relation inst rel with
-     | None -> Fin Value_set.empty
-     | Some r ->
-       let selected =
-         Relation.select
-           (List.map (fun (s : Ls.selection) -> (s.attr, s.op, s.value)) sels)
-           r
-       in
-       Fin (Relation.column attr selected))
+    let idx = Eval_index.of_instance inst in
+    Fin
+      (Eval_index.select_column idx ~rel ~attr
+         ~sels:
+           (List.map (fun (s : Ls.selection) -> (s.attr, s.op, s.value)) sels))
 
 let extension t inst =
   List.fold_left

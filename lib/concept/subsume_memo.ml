@@ -211,9 +211,7 @@ let column h ~rel ~attr =
   | Some s -> s
   | None ->
     let s =
-      match Instance.relation h.instance rel with
-      | None -> Value_set.empty
-      | Some r -> Relation.column attr r
+      Eval_index.column_values (Eval_index.of_instance h.instance) ~rel ~attr
     in
     Hashtbl.add h.columns (rel, attr) s;
     s

@@ -1,0 +1,34 @@
+(** The query-evaluation subsystem, as one surface.
+
+    The kernel physically lives in [whynot_relational] — {!Index}
+    ([Eval_index]) because it only needs instances and relations, and
+    {!Plan} ([Cq.Plan]) because [Cq.eval]/[Cq.holds] must reach the
+    planner without a dependency cycle between libraries. This facade is
+    the subsystem's public name: depend on [whynot_eval] and use
+    [Whynot_eval.query]/[Whynot_eval.ask] when evaluating many queries
+    against one instance and the handle should be created once. *)
+
+open Whynot_relational
+
+module Index = Eval_index
+(** Indexed instance storage: interned per-instance handles carrying
+    tuple arrays, pattern (bound-column) hash indexes, and per-column
+    value indexes. *)
+
+module Plan = Cq.Plan
+(** Greedy join planning and slot-compiled execution over {!Index}. *)
+
+let index = Eval_index.of_instance
+(** The interned index handle for an instance ([Index.of_instance]). *)
+
+let query idx q = Cq.Plan.eval idx q
+(** All answers of [q] over the indexed instance. *)
+
+let ask idx q = Cq.Plan.holds idx q
+(** Boolean evaluation; stops at the first witness. *)
+
+let assignments idx q = Cq.Plan.eval_assignments idx q
+(** Satisfying assignments restricted to [Cq.vars q]. *)
+
+let clear = Eval_index.clear
+(** Flush the handle registry (cold-start measurements). *)

@@ -1,24 +1,52 @@
 open Whynot_relational
 open Whynot_dllite
 
+module Basic_tbl = Hashtbl.Make (struct
+    type t = Dl.basic
+
+    let equal = Dl.equal_basic
+    let hash = Hashtbl.hash
+  end)
+
 type t = {
   spec : Spec.t;
   reasoner : Reasoner.t;
   retrieved : Interp.t;
   instance : Instance.t;
-  mutable ext_cache : (Dl.basic * Value_set.t) list;
+  bases : (Dl.basic * Value_set.t) list;
+  (* base (pre-closure) extensions, computed once at {!prepare} — they
+     only depend on the retrieved interpretation, and [extension] /
+     [consistent] / [base_concepts_of] all fold over them *)
+  ext_cache : Value_set.t Basic_tbl.t;
   (* [extension] is called concurrently when the parallel engine explores
      an OBDA-induced ontology; the cache update must not lose entries. *)
   ext_lock : Mutex.t;
 }
 
+(* All basic concepts with a non-empty retrieved (pre-closure) extension,
+   with those extensions. *)
+let compute_base_extensions spec retrieved =
+  let tb = Spec.tbox spec in
+  let atoms = Tbox.atomic_concepts tb in
+  let roles = Tbox.atomic_roles tb in
+  let of_atom a = (Dl.Atom a, Interp.concept_ext retrieved (Dl.Atom a)) in
+  let of_role p =
+    [
+      (Dl.Exists (Dl.Named p), Interp.concept_ext retrieved (Dl.Exists (Dl.Named p)));
+      (Dl.Exists (Dl.Inv p), Interp.concept_ext retrieved (Dl.Exists (Dl.Inv p)));
+    ]
+  in
+  List.map of_atom atoms @ List.concat_map of_role roles
+
 let prepare spec inst =
+  let retrieved = Spec.retrieve spec inst in
   {
     spec;
     reasoner = Reasoner.saturate (Spec.tbox spec);
-    retrieved = Spec.retrieve spec inst;
+    retrieved;
     instance = inst;
-    ext_cache = [];
+    bases = compute_base_extensions spec retrieved;
+    ext_cache = Basic_tbl.create 32;
     ext_lock = Mutex.create ();
   }
 
@@ -32,27 +60,12 @@ let concepts t = Tbox.occurring_basic_concepts (Spec.tbox t.spec)
 
 let subsumes t b1 b2 = Reasoner.subsumes t.reasoner b1 b2
 
-(* All basic concepts with a non-empty retrieved (pre-closure) extension,
-   with those extensions. *)
-let base_extensions t =
-  let tb = Spec.tbox t.spec in
-  let atoms = Tbox.atomic_concepts tb in
-  let roles = Tbox.atomic_roles tb in
-  let of_atom a = (Dl.Atom a, Interp.concept_ext t.retrieved (Dl.Atom a)) in
-  let of_role p =
-    [
-      (Dl.Exists (Dl.Named p), Interp.concept_ext t.retrieved (Dl.Exists (Dl.Named p)));
-      (Dl.Exists (Dl.Inv p), Interp.concept_ext t.retrieved (Dl.Exists (Dl.Inv p)));
-    ]
-  in
-  List.map of_atom atoms @ List.concat_map of_role roles
+let base_extensions t = t.bases
 
 let extension t c =
   Mutex.protect t.ext_lock (fun () ->
-      match
-        List.find_opt (fun (c', _) -> Dl.equal_basic c c') t.ext_cache
-      with
-      | Some (_, ext) -> ext
+      match Basic_tbl.find_opt t.ext_cache c with
+      | Some ext -> ext
       | None ->
         let ext =
           List.fold_left
@@ -60,9 +73,9 @@ let extension t c =
                if Reasoner.subsumes t.reasoner b0 c then
                  Value_set.union base acc
                else acc)
-            Value_set.empty (base_extensions t)
+            Value_set.empty t.bases
         in
-        t.ext_cache <- (c, ext) :: t.ext_cache;
+        Basic_tbl.add t.ext_cache c ext;
         ext)
 
 let base_concepts_of t v =

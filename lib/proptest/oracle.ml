@@ -7,6 +7,153 @@ module Tbox = Whynot_dllite.Tbox
 module Interp = Whynot_dllite.Interp
 
 (* ------------------------------------------------------------------ *)
+(* Naive CQ evaluation (the pre-planner kernel, kept as oracle)        *)
+(* ------------------------------------------------------------------ *)
+
+(* This is, verbatim, the backtracking join that [Cq.eval] used before the
+   indexed/planned kernel replaced it: fixed textual atom order,
+   association-list bindings, one full relation scan per atom. The
+   [eval/planned-equals-naive] property pins [Cq.eval]/[Cq.holds]/
+   [Cq.eval_assignments] against these. *)
+
+let check_comparisons (q : Cq.t) binding =
+  List.for_all
+    (fun (c : Cq.comparison) ->
+       match List.assoc_opt c.subject binding with
+       | Some v -> Cmp_op.eval c.op v c.value
+       | None -> true (* not yet bound; rechecked at the end *))
+    q.comparisons
+
+let fully_checked (q : Cq.t) binding =
+  List.for_all
+    (fun (c : Cq.comparison) ->
+       match List.assoc_opt c.subject binding with
+       | Some v -> Cmp_op.eval c.op v c.value
+       | None -> false)
+    q.comparisons
+
+let unify_atom binding (atom : Cq.atom) tuple =
+  let rec loop binding args i =
+    match args with
+    | [] -> Some binding
+    | arg :: rest ->
+      let v = Tuple.get tuple i in
+      (match arg with
+       | Cq.Const c ->
+         if Value.equal c v then loop binding rest (i + 1) else None
+       | Cq.Var x ->
+         (match List.assoc_opt x binding with
+          | Some v' ->
+            if Value.equal v v' then loop binding rest (i + 1) else None
+          | None -> loop ((x, v) :: binding) rest (i + 1)))
+  in
+  loop binding atom.args 1
+
+(* [on_binding] is called on every satisfying binding; raising from it
+   aborts the search (how [naive_holds] short-circuits — satellite fix
+   applied to the oracle too, as it changes no semantics). *)
+let iter_satisfying_bindings (q : Cq.t) inst on_binding =
+  let rec search binding = function
+    | [] -> if fully_checked q binding then on_binding binding
+    | (atom : Cq.atom) :: rest ->
+      let r =
+        Instance.relation_or_empty inst ~arity:(List.length atom.args) atom.rel
+      in
+      Relation.iter
+        (fun tuple ->
+           match unify_atom binding atom tuple with
+           | Some binding' ->
+             if check_comparisons q binding' then search binding' rest
+           | None -> ())
+        r
+  in
+  if q.comparisons = [] && q.atoms = [] then on_binding []
+  else search [] q.atoms
+
+let satisfying_bindings q inst =
+  let results = ref [] in
+  iter_satisfying_bindings q inst (fun b -> results := b :: !results);
+  !results
+
+let naive_eval (q : Cq.t) inst =
+  let k = Cq.arity q in
+  let project binding =
+    let component = function
+      | Cq.Const v -> Some v
+      | Cq.Var x -> List.assoc_opt x binding
+    in
+    match List.map component q.head with
+    | comps when List.for_all Option.is_some comps ->
+      Some (Tuple.of_list (List.map Option.get comps))
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc binding ->
+       match project binding with
+       | Some t -> Relation.add t acc
+       | None -> acc)
+    (Relation.empty ~arity:k)
+    (satisfying_bindings q inst)
+
+exception Naive_witness
+
+let naive_holds (q : Cq.t) inst =
+  (* [holds] is "is [eval] non-empty", so the projection matters: a head
+     variable that no relational atom binds makes every binding project to
+     nothing, and [holds] is false even when satisfying bindings exist.
+     With that case excluded, every satisfying binding projects (at the end
+     of the search all body variables are bound), so the first one
+     witnesses [holds] — no need to materialise the answer relation. *)
+  let body = Cq.body_vars q in
+  let head_projects =
+    List.for_all
+      (function Cq.Const _ -> true | Cq.Var v -> List.mem v body)
+      q.Cq.head
+  in
+  head_projects
+  &&
+  try
+    iter_satisfying_bindings q inst (fun _ -> raise_notrace Naive_witness);
+    false
+  with Naive_witness -> true
+
+let naive_eval_assignments (q : Cq.t) inst =
+  let qvars = Cq.vars q in
+  List.filter_map
+    (fun binding ->
+       let restricted =
+         List.filter_map
+           (fun v ->
+              Option.map (fun value -> (v, value)) (List.assoc_opt v binding))
+           qvars
+       in
+       if List.length restricted = List.length qvars then Some restricted
+       else None)
+    (satisfying_bindings q inst)
+  |> List.sort_uniq Stdlib.compare
+
+(* The pre-index [Semantics.conjunct_ext]: full-relation select + column
+   scan. Differential oracle for the [Eval_index]-backed version. *)
+let scan_conjunct_ext (c : Ls.conjunct) inst =
+  match c with
+  | Ls.Nominal v -> Semantics.Fin (Value_set.singleton v)
+  | Ls.Proj { rel; attr; sels } ->
+    (match Instance.relation inst rel with
+     | None -> Semantics.Fin Value_set.empty
+     | Some r ->
+       let selected =
+         Relation.select
+           (List.map (fun (s : Ls.selection) -> (s.attr, s.op, s.value)) sels)
+           r
+       in
+       Semantics.Fin (Relation.column attr selected))
+
+let scan_extension c inst =
+  List.fold_left
+    (fun acc conj -> Semantics.ext_inter acc (scan_conjunct_ext conj inst))
+    Semantics.All (Ls.conjuncts c)
+
+(* ------------------------------------------------------------------ *)
 (* Selection-free subsumption without constraints                      *)
 (* ------------------------------------------------------------------ *)
 

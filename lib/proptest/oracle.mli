@@ -10,6 +10,27 @@
 
 open Whynot_relational
 
+val naive_eval : Cq.t -> Instance.t -> Relation.t
+(** The pre-planner [Cq.eval], verbatim: backtracking join in textual atom
+    order with association-list bindings and a full relation scan per atom.
+    Differential oracle for the indexed/planned kernel
+    ([eval/planned-equals-naive]). *)
+
+val naive_holds : Cq.t -> Instance.t -> bool
+(** Boolean evaluation against {!naive_eval}'s semantics, short-circuiting
+    on the first satisfying binding (after excluding heads with variables
+    no atom binds, which project every binding away). *)
+
+val naive_eval_assignments : Cq.t -> Instance.t -> (string * Value.t) list list
+(** The pre-planner [Cq.eval_assignments], verbatim. *)
+
+val scan_extension :
+  Whynot_concept.Ls.t -> Instance.t -> Whynot_concept.Semantics.ext
+(** The pre-index [Semantics.extension]: each conjunct answered by a
+    full-relation [Relation.select] scan and a column fold. Differential
+    oracle for the [Eval_index]-backed version
+    ([ext/indexed-equals-scan]). *)
+
 val selection_free_no_constraints_subsumes :
   Whynot_concept.Ls.t -> Whynot_concept.Ls.t -> bool
 (** [C1 ⊑_S C2] for selection-free concepts over a schema with no integrity

@@ -494,6 +494,49 @@ let parallel_mge_equals_sequential =
         [ 1; 2; 4 ])
 
 (* ------------------------------------------------------------------ *)
+(* The planned/indexed evaluation kernel vs the retained naive kernel  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cq_with_instance =
+  let* q = Gen.cq ~max_atoms:3 ~arity:2 Gen.rs_schema in
+  let* inst = Gen.instance in
+  QG.return (q, inst)
+
+(* [Cq.eval]/[Cq.holds]/[Cq.eval_assignments] now compile a greedy plan
+   over [Eval_index]; the pre-planner backtracking join lives on in
+   {!Oracle}. The two routes must agree exactly — answer relation, Boolean
+   verdict, and assignment list (same variable order, same sort). Asking
+   twice exercises the plan/index caches on the replay. *)
+let eval_planned_equals_naive =
+  prop "eval/planned-equals-naive" 400
+    (fun (q, inst) -> Printf.sprintf "%s\n%s" (str_cq q) (str_instance inst))
+    gen_cq_with_instance
+    (fun (q, inst) ->
+      let planned = Cq.eval q inst in
+      let replayed = Cq.eval q inst in
+      let naive = Oracle.naive_eval q inst in
+      Relation.equal planned naive
+      && Relation.equal replayed naive
+      && Cq.holds q inst = Oracle.naive_holds q inst
+      && Cq.eval_assignments q inst = Oracle.naive_eval_assignments q inst)
+
+(* [Semantics.extension] now answers each conjunct from the per-column
+   value indexes of the interned [Eval_index] handle; the full-scan
+   version is the oracle. *)
+let ext_indexed_equals_scan =
+  prop "ext/indexed-equals-scan" 400
+    (fun (inst, c) ->
+      Printf.sprintf "%s\nC = %s" (str_instance inst) (Ls.to_string c))
+    (let* inst = Gen.instance in
+     let* c = Gen.concept ~max_conjuncts:4 Gen.rs_schema in
+     QG.return (inst, c))
+    (fun (inst, c) ->
+      let indexed = Semantics.extension c inst in
+      let replayed = Semantics.extension c inst in
+      let scan = Oracle.scan_extension c inst in
+      Semantics.ext_equal indexed scan && Semantics.ext_equal replayed scan)
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -517,6 +560,8 @@ let all =
     text_document_roundtrip;
     text_values_roundtrip;
     parallel_mge_equals_sequential;
+    eval_planned_equals_naive;
+    ext_indexed_equals_scan;
   ]
 
 let names = List.map (fun p -> p.name) all

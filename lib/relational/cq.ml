@@ -186,112 +186,399 @@ let is_unsatisfiable_syntactic q =
     (fun v -> Interval.is_empty (var_interval q v))
     (List.sort_uniq String.compare (List.map (fun c -> c.subject) q.comparisons))
 
-(* Evaluation: backtracking join. Bindings are association lists
-   variable -> value. Comparisons are checked as soon as their subject is
-   bound; comparisons whose subject never gets bound (unsafe query) make the
-   query fail. *)
+(* --- evaluation: planned, indexed join ---
 
-let check_comparisons q binding =
-  List.for_all
-    (fun c ->
-       match List.assoc_opt c.subject binding with
-       | Some v -> Cmp_op.eval c.op v c.value
-       | None -> true (* not yet bound; rechecked at the end *))
-    q.comparisons
+   The naive backtracking evaluator (fixed textual atom order, assoc-list
+   bindings, one full relation scan per atom) that used to live here is
+   preserved verbatim in [Whynot_proptest.Oracle] as the differential
+   oracle; the [eval/planned-equals-naive] property pins the two routes
+   against each other.  Production evaluation compiles each query, per
+   indexed instance, into a {!Plan}: a greedy join order whose steps probe
+   {!Eval_index} pattern indexes with the already-bound variables and
+   check comparisons the moment their subject is bound. *)
 
-let fully_checked q binding =
-  List.for_all
-    (fun c ->
-       match List.assoc_opt c.subject binding with
-       | Some v -> Cmp_op.eval c.op v c.value
-       | None -> false)
-    q.comparisons
+module Plan = struct
+  module Obs = Whynot_obs.Obs
 
-let unify_atom binding atom tuple =
-  let rec loop binding args i =
-    match args with
-    | [] -> Some binding
-    | arg :: rest ->
-      let v = Tuple.get tuple i in
-      (match arg with
-       | Const c -> if Value.equal c v then loop binding rest (i + 1) else None
-       | Var x ->
-         (match List.assoc_opt x binding with
-          | Some v' ->
-            if Value.equal v v' then loop binding rest (i + 1) else None
-          | None -> loop ((x, v) :: binding) rest (i + 1)))
-  in
-  loop binding atom.args 1
+  let c_built = Obs.counter "eval.plans.built" ~doc:"query plans compiled"
 
-let satisfying_bindings q inst =
-  let results = ref [] in
-  let rec search binding = function
-    | [] -> if fully_checked q binding then results := binding :: !results
-    | atom :: rest ->
-      let r =
-        Instance.relation_or_empty inst ~arity:(List.length atom.args) atom.rel
-      in
-      Relation.iter
-        (fun tuple ->
-           match unify_atom binding atom tuple with
-           | Some binding' ->
-             if check_comparisons q binding' then search binding' rest
-           | None -> ())
-        r
-  in
-  if q.comparisons = [] && q.atoms = [] then [ [] ]
-  else begin
-    search [] q.atoms;
-    !results
-  end
+  let c_cached =
+    Obs.counter "eval.plans.cached" ~doc:"plan requests answered from cache"
 
-let eval q inst =
-  let k = arity q in
-  let project binding =
-    let component = function
-      | Const v -> Some v
-      | Var x -> List.assoc_opt x binding
+  type key_part =
+    | K_const of Value.t
+    | K_slot of int
+
+  type step = {
+    s_atom : atom;                (* the source atom, for pretty-printing *)
+    s_key_cols : int list;        (* probed 1-based columns; [] = full scan *)
+    s_key : key_part list;        (* aligned with [s_key_cols] *)
+    s_binds : (int * int) list;   (* (column, slot): new variables bound here *)
+    s_eqs : (int * int) list;     (* within-atom repeats: col must equal col' *)
+    s_cmps : (int * (Cmp_op.t * Value.t) list) list;
+        (* comparisons pushed to this step, keyed by newly bound slot *)
+  }
+
+  (* How the whole query evaluates, decided statically:
+     [Trivial]  — no atoms, no comparisons: exactly one (empty) binding;
+     [Never]    — a compared or head variable never occurs in an atom, so
+                  no binding can project/satisfy (the naive evaluator
+                  enumerates and then drops everything; we skip the walk);
+     [Steps]    — the compiled join. *)
+  type shape =
+    | Trivial
+    | Never
+    | Steps of step list
+
+  type plan = {
+    p_arity : int;
+    p_nslots : int;
+    p_head : key_part list;
+    p_qvars : (string * int) list;  (* {!vars} order, with slots *)
+    p_shape : shape;
+  }
+
+  (* --- compilation --- *)
+
+  let build idx q =
+    Obs.incr c_built;
+    let slots : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let atom_vars =
+      List.concat_map
+        (fun a ->
+           List.filter_map (function Var v -> Some v | Const _ -> None) a.args)
+        q.atoms
     in
-    match List.map component q.head with
-    | comps when List.for_all Option.is_some comps ->
-      Some (Tuple.of_list (List.map Option.get comps))
-    | _ -> None
-  in
-  List.fold_left
-    (fun acc binding ->
-       match project binding with
-       | Some t -> Relation.add t acc
-       | None -> acc)
-    (Relation.empty ~arity:k)
-    (satisfying_bindings q inst)
+    List.iter
+      (fun v ->
+         if not (Hashtbl.mem slots v) then
+           Hashtbl.add slots v (Hashtbl.length slots))
+      atom_vars;
+    let in_atoms v = Hashtbl.mem slots v in
+    let head_ok =
+      List.for_all
+        (function Const _ -> true | Var v -> in_atoms v)
+        q.head
+    in
+    let cmps_ok = List.for_all (fun c -> in_atoms c.subject) q.comparisons in
+    let shape =
+      if q.atoms = [] && q.comparisons = [] then Trivial
+      else if not (head_ok && cmps_ok) then Never
+      else begin
+        (* Greedy join order: at each step take the atom with the most
+           bound positions (constants count), breaking ties towards the
+           smaller relation, then towards textual order. *)
+        let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+        let bound_count a =
+          List.length
+            (List.filter
+               (function
+                 | Const _ -> true
+                 | Var v -> Hashtbl.mem bound v)
+               a.args)
+        in
+        let score (i, a) =
+          (bound_count a, -Eval_index.cardinal idx a.rel, -i)
+        in
+        let compile a =
+          let key_cols = ref [] and key = ref [] in
+          let binds = ref [] and eqs = ref [] in
+          let new_here : (string, int) Hashtbl.t = Hashtbl.create 4 in
+          List.iteri
+            (fun i0 arg ->
+               let col = i0 + 1 in
+               match arg with
+               | Const c ->
+                 key_cols := col :: !key_cols;
+                 key := K_const c :: !key
+               | Var v ->
+                 if Hashtbl.mem bound v then begin
+                   key_cols := col :: !key_cols;
+                   key := K_slot (Hashtbl.find slots v) :: !key
+                 end
+                 else (
+                   match Hashtbl.find_opt new_here v with
+                   | Some first_col -> eqs := (col, first_col) :: !eqs
+                   | None ->
+                     Hashtbl.add new_here v col;
+                     binds := (col, Hashtbl.find slots v) :: !binds))
+            a.args;
+          let cmps =
+            Hashtbl.fold
+              (fun v _ acc ->
+                 let checks =
+                   List.filter_map
+                     (fun c ->
+                        if String.equal c.subject v then Some (c.op, c.value)
+                        else None)
+                     q.comparisons
+                 in
+                 if checks = [] then acc
+                 else (Hashtbl.find slots v, checks) :: acc)
+              new_here []
+          in
+          Hashtbl.iter (fun v _ -> Hashtbl.replace bound v ()) new_here;
+          {
+            s_atom = a;
+            s_key_cols = List.rev !key_cols;
+            s_key = List.rev !key;
+            s_binds = List.rev !binds;
+            s_eqs = List.rev !eqs;
+            s_cmps = cmps;
+          }
+        in
+        let rec order acc remaining =
+          match remaining with
+          | [] -> List.rev acc
+          | _ ->
+            let best =
+              List.fold_left
+                (fun best cand ->
+                   match best with
+                   | None -> Some cand
+                   | Some b -> if score cand > score b then Some cand else Some b)
+                None remaining
+              |> Option.get
+            in
+            let remaining =
+              List.filter (fun (i, _) -> i <> fst best) remaining
+            in
+            order (compile (snd best) :: acc) remaining
+        in
+        Steps (order [] (List.mapi (fun i a -> (i, a)) q.atoms))
+      end
+    in
+    let head =
+      List.map
+        (function
+          | Const c -> K_const c
+          | Var v ->
+            (* Dangling head variables only occur under [Trivial]/[Never],
+               where the slot is never dereferenced. *)
+            K_slot (Option.value ~default:(-1) (Hashtbl.find_opt slots v)))
+        q.head
+    in
+    let qvars =
+      match shape with
+      | Trivial | Never -> []
+      | Steps _ -> List.map (fun v -> (v, Hashtbl.find slots v)) (vars q)
+    in
+    {
+      p_arity = arity q;
+      p_nslots = Hashtbl.length slots;
+      p_head = head;
+      p_qvars = qvars;
+      p_shape = shape;
+    }
 
-let holds q inst = not (Relation.is_empty (eval q inst))
+  (* --- the per-(instance handle, query) plan cache --- *)
 
-let eval_assignments q inst =
-  let qvars = vars q in
-  List.filter_map
-    (fun binding ->
-       let restricted =
-         List.filter_map
-           (fun v ->
-              Option.map (fun value -> (v, value)) (List.assoc_opt v binding))
-           qvars
-       in
-       if List.length restricted = List.length qvars then Some restricted
-       else None)
-    (satisfying_bindings q inst)
-  |> List.sort_uniq Stdlib.compare
+  module Phys_tbl = Hashtbl.Make (struct
+      type t = Eval_index.t
+
+      let equal = ( == )
+      let hash = Hashtbl.hash
+    end)
+
+  module Int_tbl = Hashtbl.Make (Int)
+
+  let max_plan_tables = 64
+  let plan_registry : plan Int_tbl.t Phys_tbl.t = Phys_tbl.create 64
+  let plan_lock = Mutex.create ()
+
+  let of_query idx q =
+    let qid = id q in
+    Mutex.protect plan_lock (fun () ->
+        let tbl =
+          match Phys_tbl.find_opt plan_registry idx with
+          | Some tbl -> tbl
+          | None ->
+            if Phys_tbl.length plan_registry >= max_plan_tables then
+              Phys_tbl.reset plan_registry;
+            let tbl = Int_tbl.create 16 in
+            Phys_tbl.add plan_registry idx tbl;
+            tbl
+        in
+        match Int_tbl.find_opt tbl qid with
+        | Some p ->
+          Obs.incr c_cached;
+          p
+        | None ->
+          let p = build idx q in
+          Int_tbl.add tbl qid p;
+          p)
+
+  (* --- execution --- *)
+
+  (* Run [f] on the slot array of every satisfying binding. Slots newly
+     bound by a step are written before descending and cleared on the way
+     back up, so the array is the only allocation of the whole walk. *)
+  let iter_bindings idx plan f =
+    match plan.p_shape with
+    | Trivial | Never -> ()
+    | Steps steps ->
+      let slots = Array.make (max plan.p_nslots 1) None in
+      let part_value = function
+        | K_const c -> c
+        | K_slot s -> Option.get slots.(s)
+      in
+      let rec go = function
+        | [] -> f slots
+        | st :: rest ->
+          let consider t =
+            if
+              List.for_all
+                (fun (c, c') -> Value.equal (Tuple.get t c) (Tuple.get t c'))
+                st.s_eqs
+            then begin
+              List.iter
+                (fun (c, s) -> slots.(s) <- Some (Tuple.get t c))
+                st.s_binds;
+              if
+                List.for_all
+                  (fun (s, checks) ->
+                     let v = Option.get slots.(s) in
+                     List.for_all
+                       (fun (op, c) -> Cmp_op.eval op v c)
+                       checks)
+                  st.s_cmps
+              then go rest;
+              List.iter (fun (_, s) -> slots.(s) <- None) st.s_binds
+            end
+          in
+          (match st.s_key_cols with
+           | [] ->
+             Array.iter consider (Eval_index.tuples idx st.s_atom.rel)
+           | cols ->
+             List.iter consider
+               (Eval_index.probe idx ~rel:st.s_atom.rel ~cols
+                  (List.map part_value st.s_key)))
+      in
+      go steps
+
+  let project plan slots =
+    Tuple.of_list
+      (List.map
+         (function
+           | K_const c -> c
+           | K_slot s -> Option.get slots.(s))
+         plan.p_head)
+
+  (* [Trivial] queries have one empty binding; the head projects iff it is
+     all constants (a head variable projects to nothing, exactly as the
+     naive evaluator's [project] drops bindings missing a head variable). *)
+  let trivial_head plan =
+    if List.for_all (function K_const _ -> true | K_slot _ -> false) plan.p_head
+    then Some (List.map (function K_const c -> c | K_slot _ -> assert false)
+                 plan.p_head)
+    else None
+
+  let eval idx q =
+    let plan = of_query idx q in
+    let acc = ref (Relation.empty ~arity:plan.p_arity) in
+    (match plan.p_shape with
+     | Never -> ()
+     | Trivial ->
+       (match trivial_head plan with
+        | Some vs -> acc := Relation.add (Tuple.of_list vs) !acc
+        | None -> ())
+     | Steps _ ->
+       iter_bindings idx plan (fun slots ->
+           acc := Relation.add (project plan slots) !acc));
+    !acc
+
+  exception Witness
+
+  let holds idx q =
+    let plan = of_query idx q in
+    match plan.p_shape with
+    | Never -> false
+    | Trivial -> Option.is_some (trivial_head plan)
+    | Steps _ ->
+      (try
+         iter_bindings idx plan (fun _ -> raise_notrace Witness);
+         false
+       with Witness -> true)
+
+  let eval_assignments idx q =
+    let plan = of_query idx q in
+    match plan.p_shape with
+    | Never -> []
+    | Trivial ->
+      (* One empty binding; it restricts to all query variables only when
+         there are none (constant-only heads). *)
+      if vars q = [] then [ [] ] else []
+    | Steps _ ->
+      let acc = ref [] in
+      iter_bindings idx plan (fun slots ->
+          acc :=
+            List.map
+              (fun (v, s) -> (v, Option.get slots.(s)))
+              plan.p_qvars
+            :: !acc);
+      List.sort_uniq Stdlib.compare !acc
+
+  let pp_part ppf = function
+    | K_const c -> Value.pp ppf c
+    | K_slot s -> Format.fprintf ppf "$%d" s
+
+  let pp ppf plan =
+    match plan.p_shape with
+    | Trivial -> Format.pp_print_string ppf "trivial"
+    | Never -> Format.pp_print_string ppf "empty (unsafe head or comparison)"
+    | Steps steps ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ -> ")
+        (fun ppf st ->
+           if st.s_key_cols = [] then
+             Format.fprintf ppf "scan %s" st.s_atom.rel
+           else
+             Format.fprintf ppf "probe %s[%a](%a)" st.s_atom.rel
+               (Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+                  Format.pp_print_int)
+               st.s_key_cols
+               (Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+                  pp_part)
+               st.s_key;
+           List.iter
+             (fun (s, checks) ->
+                List.iter
+                  (fun (op, c) ->
+                     Format.fprintf ppf " [$%d %s %s]" s (Cmp_op.to_string op)
+                       (Value.to_string c))
+                  checks)
+             st.s_cmps)
+        ppf steps
+end
+
+let eval q inst = Plan.eval (Eval_index.of_instance inst) q
+let holds q inst = Plan.holds (Eval_index.of_instance inst) q
+let eval_assignments q inst = Plan.eval_assignments (Eval_index.of_instance inst) q
 
 let freeze ~fresh q =
   let term_value = function
     | Const v -> v
     | Var x -> fresh x
   in
+  (* Batch the facts per relation so each relation is built once, instead
+     of one [Instance.add_fact] map-rebuild per atom. *)
+  let by_rel : (string, Value.t list list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun atom ->
+       let row = List.map term_value atom.args in
+       let prev = Option.value ~default:[] (Hashtbl.find_opt by_rel atom.rel) in
+       Hashtbl.replace by_rel atom.rel (row :: prev))
+    q.atoms;
   let inst =
-    List.fold_left
-      (fun inst atom ->
-         Instance.add_fact atom.rel (List.map term_value atom.args) inst)
-      Instance.empty q.atoms
+    Hashtbl.fold
+      (fun rel rows inst ->
+         let arity =
+           match rows with row :: _ -> List.length row | [] -> 0
+         in
+         Instance.add_relation rel (Relation.of_value_lists ~arity rows) inst)
+      by_rel Instance.empty
   in
   (inst, Tuple.of_list (List.map term_value q.head))
 

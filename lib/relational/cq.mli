@@ -75,13 +75,44 @@ val is_unsatisfiable_syntactic : t -> bool
 (** True when some variable's comparisons are jointly unsatisfiable or a head
     constant... (conservative check: only comparisons are inspected). *)
 
+(** Compiled evaluation plans — the planning half of the query-evaluation
+    kernel (the storage half is {!Eval_index}; the public face of the
+    subsystem is the [Whynot_eval] facade library).
+
+    A plan fixes a greedy join order over the query's atoms — at each step
+    the atom with the most already-bound positions (constants included),
+    ties broken towards the smaller relation, then towards textual order —
+    compiles variables to integer slots so a binding is a mutable
+    [Value.t option array], probes {!Eval_index} pattern indexes with the
+    bound positions of each atom, and checks each comparison at the first
+    step that binds its subject. Plans are cached per
+    (physical index handle, {!id}) pair. *)
+module Plan : sig
+  type plan
+
+  val of_query : Eval_index.t -> t -> plan
+  (** The (cached) plan for [t] over this indexed instance. *)
+
+  val eval : Eval_index.t -> t -> Relation.t
+  val holds : Eval_index.t -> t -> bool
+  (** Short-circuits on the first witness binding. *)
+
+  val eval_assignments : Eval_index.t -> t -> (string * Value.t) list list
+
+  val pp : Format.formatter -> plan -> unit
+  (** Step order with probe columns vs. scans and pushed-down
+      comparisons. *)
+end
+
 val eval : t -> Instance.t -> Relation.t
 (** All answers over the instance (set semantics). A Boolean query (empty
     head) evaluates to the arity-0 relation containing the empty tuple iff
-    the query holds. *)
+    the query holds. Evaluates via {!Plan} over the interned
+    {!Eval_index.of_instance} handle. *)
 
 val holds : t -> Instance.t -> bool
-(** [holds q inst]: the Boolean version — is [eval] non-empty? *)
+(** [holds q inst]: the Boolean version — is [eval] non-empty? Unlike
+    [eval], stops at the first satisfying binding. *)
 
 val eval_assignments : t -> Instance.t -> (string * Value.t) list list
 (** Satisfying assignments restricted to {!vars} (used by GAV mappings). *)

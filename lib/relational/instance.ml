@@ -46,8 +46,11 @@ let fact_count inst =
 let union i1 i2 =
   Str_map.union (fun _name r1 r2 -> Some (Relation.union r1 r2)) i1 i2
 
+module Str_set = Set.Make (String)
+
 let restrict names inst =
-  Str_map.filter (fun name _ -> List.mem name names) inst
+  let keep = Str_set.of_list names in
+  Str_map.filter (fun name _ -> Str_set.mem name keep) inst
 
 let equal i1 i2 = Str_map.equal Relation.equal i1 i2
 

@@ -77,10 +77,7 @@ let product r1 r2 =
   let arity = r1.arity + r2.arity in
   fold
     (fun t1 acc ->
-       fold
-         (fun t2 acc ->
-            add (Tuple.of_list (Tuple.to_list t1 @ Tuple.to_list t2)) acc)
-         r2 acc)
+       fold (fun t2 acc -> add (Tuple.append t1 t2) acc) r2 acc)
     r1 (empty ~arity)
 
 let pp ppf r =

@@ -13,6 +13,7 @@ let get t a =
   else t.(a - 1)
 
 let proj attrs t = Array.of_list (List.map (fun a -> get t a) attrs)
+let append t1 t2 = Array.append t1 t2
 
 let compare t1 t2 =
   let n1 = Array.length t1 and n2 = Array.length t2 in

@@ -13,6 +13,10 @@ val get : t -> int -> Value.t
 (** [get t a] is the value at 1-based attribute [a].
     @raise Invalid_argument if out of range. *)
 
+val append : t -> t -> t
+(** Concatenation (arities add up) — what {!Relation.product} builds its
+    tuples with, without round-tripping through lists. *)
+
 val proj : int list -> t -> t
 (** [proj [a1; ...; ak] t] is the tuple of the [a1]-th, ..., [ak]-th
     components (1-based), i.e. the paper's [pi_{A1,...,Ak}(t)]. *)

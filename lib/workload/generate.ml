@@ -100,6 +100,56 @@ let cities_whynot (schema, inst) =
     ~missing:[ s "city000"; s "city001" ]
     ()
 
+(* --- scaled retail --- *)
+
+let retail_like ?(seed = 29) ~n_products ~n_stores ~n_stock () =
+  let st = Random.State.make [| seed |] in
+  let pid k = s (Printf.sprintf "P%04d" k) in
+  let sid k = s (Printf.sprintf "S%03d" k) in
+  let categories = [| "audio"; "computing"; "kitchen"; "garden"; "toys" |] in
+  let products =
+    List.init n_products (fun k ->
+        [
+          pid k;
+          s (Printf.sprintf "product %d" k);
+          s categories.(Random.State.int st (Array.length categories));
+          i (5 + Random.State.int st 500);
+        ])
+  in
+  let stores =
+    List.init n_stores (fun k ->
+        [
+          sid k;
+          s (Printf.sprintf "city%02d" (k mod 17));
+          s (Printf.sprintf "state%d" (k mod 5));
+        ])
+  in
+  let stock =
+    List.init n_stock (fun _ ->
+        [
+          pid (Random.State.int st n_products);
+          sid (Random.State.int st n_stores);
+          (* One row in five is a zero-quantity row, so the qty > 0
+             comparison actually filters. *)
+          i (if Random.State.int st 5 = 0 then 0
+             else 1 + Random.State.int st 50);
+        ])
+  in
+  Instance.of_facts
+    [ ("Products", products); ("Stores", stores); ("Stock", stock) ]
+
+let retail_join_query ~category =
+  Cq.make
+    ~head:[ var "n"; var "city" ]
+    ~atoms:
+      [
+        atom "Products" [ var "p"; var "n"; Cq.Const (s category); var "pr" ];
+        atom "Stock" [ var "p"; var "st"; var "q" ];
+        atom "Stores" [ var "st"; var "city"; var "state" ];
+      ]
+    ~comparisons:[ { Cq.subject = "q"; op = Cmp_op.Gt; value = i 0 } ]
+    ()
+
 (* --- random hand ontologies --- *)
 
 let random_hand_ontology ?(seed = 11) ~n_concepts ~n_constants () =

@@ -23,6 +23,22 @@ val cities_whynot :
     (city_0, city_1) not connected in two hops? The generator guarantees the
     pair is not in the answer by removing offending connections. *)
 
+(** {1 Scaled retail-style instances (EVAL kernel sweep)} *)
+
+val retail_like :
+  ?seed:int -> n_products:int -> n_stores:int -> n_stock:int -> unit ->
+  Instance.t
+(** The introduction's retail shape scaled up: [Products(pid, name,
+    category, price)] over five categories, [Stores(sid, city, state)],
+    and [n_stock] random [Stock(pid, sid, qty)] rows (one in five with
+    quantity zero, so the canonical [qty > 0] selection filters). *)
+
+val retail_join_query : category:string -> Cq.t
+(** [q(name, city)]: the three-way Products–Stock–Stores join restricted
+    to one product category (a constant in an atom position) and to
+    positive quantities (a pushed-down comparison) — the EVAL benchmark's
+    planned-vs-naive workload. *)
+
 (** {1 Random finite ontologies (Algorithm 1 scaling)} *)
 
 val random_hand_ontology :
