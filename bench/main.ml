@@ -14,6 +14,7 @@
 (* Bind the facade before [open Whynot_core] shadows the [Whynot] name
    with the core question module. *)
 module Engine = Whynot.Engine
+module Wire_json = Whynot.Json
 
 open Bechamel
 open Whynot_relational
@@ -954,6 +955,200 @@ let eval_bench () =
   in
   speedup "holds vs full eval" eval_t holds_t
 
+(* ================================================================== *)
+(* SERVE: the wire server under load                                   *)
+(* ================================================================== *)
+
+(* Rows measured by the load generator rather than bechamel: the
+   quantity of interest is tail latency under concurrency, which an OLS
+   fit over repeated single-threaded runs cannot see. [ns_per_op] is the
+   mean per-request wall clock; the percentiles travel in [params]. *)
+let raw_row id label ~params ~ns ~counters =
+  row "  %-42s %a@." label pp_time (Some ns);
+  bench_rows :=
+    { r_id = id; r_label = label; r_params = params; r_ns = ns;
+      r_counters = counters }
+    :: !bench_rows
+
+module Server = Whynot_server.Server
+
+let serve_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+(* One blocking request/response exchange; returns the reply's error
+   code ([""] for a result envelope). The reply JSON goes through the
+   wire decoder, so the generator measures the full codec path. *)
+let serve_rpc fd rdbuf line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd data !off (len - !off)
+  done;
+  let chunk = Bytes.create 8192 in
+  let rec next_line () =
+    let s = Buffer.contents rdbuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear rdbuf;
+      Buffer.add_substring rdbuf s (i + 1) (String.length s - i - 1);
+      String.sub s 0 i
+    | None ->
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then failwith "server closed the connection";
+      Buffer.add_subbytes rdbuf chunk 0 n;
+      next_line ()
+  in
+  let reply = next_line () in
+  match Wire_json.of_string reply with
+  | Error _ -> failwith ("unparsable reply: " ^ reply)
+  | Ok j ->
+    (match Wire_json.member "error" j with
+     | Some e ->
+       (match Option.bind (Wire_json.member "code" e) Wire_json.to_string_opt
+        with
+        | Some c -> c
+        | None -> "error")
+     | None -> "")
+
+let percentile_us sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (p *. float_of_int n /. 100.)) - 1 in
+    sorted.(max 0 (min (n - 1) rank)) /. 1e3
+  end
+
+let serve_phase ~label ~port ~clients ~requests ~request_of ~session_of =
+  (* [clients] threads, each with its own connection and session, each
+     issuing [requests] requests back to back. Returns per-request
+     latencies (ns) plus the client-observed shed/timeout counts. *)
+  let latencies = Array.make (clients * requests) 0. in
+  let shed = Atomic.make 0 and timeouts = Atomic.make 0 in
+  let t_start = Obs.now_s () in
+  let client i () =
+    let fd = serve_connect port in
+    let rdbuf = Buffer.create 1024 in
+    let session = session_of i in
+    (* Session management must succeed even when the measured phase sheds
+       aggressively, or the shed totals would double-count management
+       requests: retry until admitted, counting each shed reply. *)
+    let rec admitted line =
+      if serve_rpc fd rdbuf line = "overloaded" then begin
+        Atomic.incr shed;
+        Thread.delay 0.005;
+        admitted line
+      end
+    in
+    admitted
+      (Printf.sprintf
+         "{\"op\":\"create\",\"session\":\"%s\",\"workload\":\"cities\"}"
+         session);
+    for k = 0 to requests - 1 do
+      let t0 = Obs.now_s () in
+      let code = serve_rpc fd rdbuf (request_of session k) in
+      latencies.((i * requests) + k) <- (Obs.now_s () -. t0) *. 1e9;
+      if code = "overloaded" then Atomic.incr shed
+      else if code = "timeout" then Atomic.incr timeouts
+    done;
+    admitted (Printf.sprintf "{\"op\":\"close\",\"session\":\"%s\"}" session);
+    Unix.close fd
+  in
+  let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join threads;
+  let wall_s = Obs.now_s () -. t_start in
+  Array.sort compare latencies;
+  let total = clients * requests in
+  let mean_ns = Array.fold_left ( +. ) 0. latencies /. float_of_int total in
+  ( label,
+    [
+      ("clients", float_of_int clients);
+      ("requests", float_of_int total);
+      ("p50_us", percentile_us latencies 50.);
+      ("p95_us", percentile_us latencies 95.);
+      ("p99_us", percentile_us latencies 99.);
+      ("rps", float_of_int total /. wall_s);
+      ("shed", float_of_int (Atomic.get shed));
+      ("timeouts", float_of_int (Atomic.get timeouts));
+    ],
+    mean_ns )
+
+let serve_bench () =
+  header "SERVE" "wire server under load (throughput, tails, shedding)";
+  let base =
+    { Server.default_config with
+      port = 0; access_log = false; default_deadline_ms = 0 }
+  in
+  let n = if quick then 20 else 100 in
+  let counter_subset counters =
+    List.filter
+      (fun (name, _) ->
+         String.length name >= 7 && String.sub name 0 7 = "server.")
+      counters
+  in
+  let run_phase server ~label ~clients ~requests ~request_of ~session_of =
+    let port = Server.port server in
+    let result = ref None in
+    let (), counters =
+      Obs.delta (fun () ->
+        result :=
+          Some
+            (serve_phase ~label ~port ~clients ~requests ~request_of
+               ~session_of))
+    in
+    let label, params, mean_ns = Option.get !result in
+    let counters = counter_subset counters in
+    let ctr name =
+      float_of_int (Option.value (List.assoc_opt name counters) ~default:0)
+    in
+    raw_row "SERVE" label
+      ~params:
+        (params
+         @ [ ("shed_ctr", ctr "server.shed");
+             ("timeout_ctr", ctr "server.timeouts") ])
+      ~ns:mean_ns ~counters
+  in
+  (* Phase 1: sustained one_mge traffic, no artificial limits. *)
+  (match Server.start base with
+   | Error msg -> row "  server failed to start: %s@." msg
+   | Ok server ->
+     run_phase server
+       ~label:(Printf.sprintf "one_mge, 4 clients x %d" n)
+       ~clients:4 ~requests:n
+       ~request_of:(fun session _ ->
+         Printf.sprintf "{\"op\":\"one_mge\",\"session\":\"%s\"}" session)
+       ~session_of:(Printf.sprintf "load-%d");
+     (* Phase 2: every request carries an already-expired deadline. *)
+     run_phase server
+       ~label:(Printf.sprintf "one_mge deadline_ms=0, 2 clients x %d" n)
+       ~clients:2 ~requests:n
+       ~request_of:(fun session _ ->
+         Printf.sprintf
+           "{\"op\":\"one_mge\",\"session\":\"%s\",\"deadline_ms\":0}"
+           session)
+       ~session_of:(Printf.sprintf "ttl-%d");
+     Server.initiate_shutdown server;
+     Server.wait server);
+  (* Phase 3: more clients than execution slots — load shedding. *)
+  match
+    Server.start { base with max_inflight = 1; debug_ops = true }
+  with
+  | Error msg -> row "  server failed to start: %s@." msg
+  | Ok server ->
+    run_phase server
+      ~label:
+        (Printf.sprintf "debug_sleep(5ms) max_inflight=1, 4 clients x %d"
+           (n / 2))
+      ~clients:4 ~requests:(n / 2)
+      ~request_of:(fun session _ ->
+        Printf.sprintf
+          "{\"op\":\"debug_sleep\",\"session\":\"%s\",\"ms\":5}" session)
+      ~session_of:(Printf.sprintf "shed-%d");
+    Server.initiate_shutdown server;
+    Server.wait server
+
 let () =
   Format.printf "why-not explanations: benchmark harness@.";
   Format.printf "(experiment ids refer to DESIGN.md / EXPERIMENTS.md)@.";
@@ -977,5 +1172,6 @@ let () =
   obda_scaling ();
   rewrite_bench ();
   datalog_bench ();
+  serve_bench ();
   write_report "BENCH_whynot.json";
   Format.printf "@.done.@."

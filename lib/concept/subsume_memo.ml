@@ -70,6 +70,24 @@ module Lub_tbl = Hashtbl.Make (struct
     let hash = Hashtbl.hash
   end)
 
+(* --- cooperative deadlines ---
+
+   Every memoised entry point doubles as a cancellation point: when a
+   handle carries a deadline (absolute [Obs.now_s] seconds; [0.] = none)
+   and the clock has passed it, the call raises [Deadline_exceeded]
+   instead of computing. The MGE algorithms funnel all their expensive
+   work (extensions, subsumption verdicts, lubs, Table-1 decisions)
+   through these entry points, so a long search unwinds within one
+   candidate evaluation of the deadline passing — that is how
+   [Whynot.Engine] turns a server request deadline into a [`Timeout]
+   result without hard-killing any domain. *)
+
+exception Deadline_exceeded
+
+let c_deadline_trips =
+  Obs.counter "memo.deadline.trips"
+    ~doc:"operations unwound by a cooperative deadline check"
+
 (* --- per-instance handles --- *)
 
 type inst = {
@@ -80,6 +98,7 @@ type inst = {
   columns : (string * int, Value_set.t) Hashtbl.t;
   mutable positions : (string * int) list option;
   lubs : Ls.t Lub_tbl.t;
+  mutable deadline : float;  (* absolute seconds; 0. = none *)
 }
 
 type schema_handle = {
@@ -87,7 +106,26 @@ type schema_handle = {
   cls : Subsume_schema.constraint_class;
   sverdicts : Subsume_schema.verdict Pair_tbl.t;
   ucqs : Ucq.t Int_tbl.t;
+  mutable sdeadline : float;
 }
+
+let check_inst_deadline h =
+  if h.deadline > 0. && Obs.now_s () > h.deadline then begin
+    Obs.incr c_deadline_trips;
+    raise Deadline_exceeded
+  end
+
+let check_schema_deadline h =
+  if h.sdeadline > 0. && Obs.now_s () > h.sdeadline then begin
+    Obs.incr c_deadline_trips;
+    raise Deadline_exceeded
+  end
+
+let set_inst_deadline h d =
+  h.deadline <- (match d with Some t -> t | None -> 0.)
+
+let set_schema_deadline h d =
+  h.sdeadline <- (match d with Some t -> t | None -> 0.)
 
 (* Handles are interned per *physical* instance/schema value: the
    algorithms thread one instance value through a whole run, so physical
@@ -134,6 +172,7 @@ let fresh_inst instance =
     columns = Hashtbl.create 16;
     positions = None;
     lubs = Lub_tbl.create 64;
+    deadline = 0.;
   }
 
 let inst instance =
@@ -154,6 +193,7 @@ let private_inst instance = fresh_inst instance
 let instance h = h.instance
 
 let conjunct_ext h conj =
+  check_inst_deadline h;
   match Conj_tbl.find_opt h.conj_exts conj with
   | Some e -> e
   | None ->
@@ -162,6 +202,7 @@ let conjunct_ext h conj =
     e
 
 let extension h c =
+  check_inst_deadline h;
   Obs.incr c_ext_calls;
   let key = Ls.id c in
   match Int_tbl.find_opt h.exts key with
@@ -180,6 +221,7 @@ let extension h c =
 let mem h v c = Semantics.ext_mem v (extension h c)
 
 let subsumes h c1 c2 =
+  check_inst_deadline h;
   Obs.incr c_inst_calls;
   let key = (Ls.id c1, Ls.id c2) in
   match Pair_tbl.find_opt h.verdicts key with
@@ -217,6 +259,7 @@ let column h ~rel ~attr =
     s
 
 let memo_lub h ~tag x compute =
+  check_inst_deadline h;
   Obs.incr c_lub_calls;
   let key = (tag, Value_set.elements x) in
   match Lub_tbl.find_opt h.lubs key with
@@ -290,6 +333,7 @@ let fresh_schema sschema =
     cls = Subsume_schema.classify sschema;
     sverdicts = Pair_tbl.create 64;
     ucqs = Int_tbl.create 64;
+    sdeadline = 0.;
   }
 
 let schema sschema =
@@ -343,6 +387,7 @@ let translate h c =
     u
 
 let decide ?chase_depth h c1 c2 =
+  check_schema_deadline h;
   Obs.incr c_schema_calls;
   let key = (Ls.id c1, Ls.id c2) in
   match Pair_tbl.find_opt h.sverdicts key with

@@ -116,6 +116,26 @@ val decide :
 val schema_subsumes : ?chase_depth:int -> schema -> Ls.t -> Ls.t -> bool
 (** [decide = Subsumed]. *)
 
+(** {1 Cooperative deadlines}
+
+    A handle may carry an absolute deadline ([Whynot_obs.Obs.now_s]
+    seconds). Every memoised entry point checks it before touching a
+    cache and raises {!Deadline_exceeded} once the clock passes it, so
+    the MGE algorithms — whose expensive work all funnels through these
+    entry points — unwind within one candidate evaluation.
+    [Whynot.Engine] sets deadlines on its (shared and per-worker) handles
+    around an operation and converts the exception into a [`Timeout]
+    result; direct callers of this module normally never see the
+    exception because handles start with no deadline. *)
+
+exception Deadline_exceeded
+
+val set_inst_deadline : inst -> float option -> unit
+(** [Some t]: raise from this handle's entry points once
+    [Whynot_obs.Obs.now_s () > t]; [None] clears. *)
+
+val set_schema_deadline : schema -> float option -> unit
+
 (** {1 Lifecycle} *)
 
 val clear : unit -> unit

@@ -142,8 +142,8 @@ let one_mge ?(variant = Selection_free) ?(shorten = true) ?order wn =
   let e, _ = one_mge_with_trace ~variant ?order wn in
   if shorten then List.map (Irredundant.minimise wn.Whynot.instance) e else e
 
-let check_mge ?(variant = Selection_free) wn e =
-  let ctx = Step.make_ctx ~variant wn in
+let check_mge ?handle ?(variant = Selection_free) wn e =
+  let ctx = Step.make_ctx ?handle ~variant wn in
   let inst = wn.Whynot.instance in
   let o = ctx.Step.ontology in
   if not (Explanation.is_explanation o wn e) then false

@@ -50,6 +50,7 @@ val one_mge_with_trace :
     explanations at different costs). *)
 
 val check_mge :
+  ?handle:Whynot_concept.Subsume_memo.inst ->
   ?variant:variant ->
   Whynot.t ->
   Whynot_concept.Ls.t Explanation.t ->

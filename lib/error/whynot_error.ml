@@ -7,6 +7,8 @@ type t =
   | `Missing_input of string
   | `Inconsistent of string
   | `Invalid_config of string
+  | `Closed of string
+  | `Timeout of string
   | `Internal of string
   ]
 
@@ -19,6 +21,8 @@ let code : t -> string = function
   | `Missing_input _ -> "missing-input"
   | `Inconsistent _ -> "inconsistent"
   | `Invalid_config _ -> "invalid-config"
+  | `Closed _ -> "closed"
+  | `Timeout _ -> "timeout"
   | `Internal _ -> "internal"
 
 let message : t -> string = function
@@ -30,6 +34,8 @@ let message : t -> string = function
   | `Missing_input m
   | `Inconsistent m
   | `Invalid_config m
+  | `Closed m
+  | `Timeout m
   | `Internal m -> m
 
 let to_string e = code e ^ ": " ^ message e

@@ -26,8 +26,12 @@ type t =
     (** the data is inconsistent with the ontology (OBDA retrieved
         assertions) *)
   | `Invalid_config of string
-    (** bad engine configuration: non-positive domain count, operation on
-        a closed engine *)
+    (** bad engine configuration: non-positive domain count *)
+  | `Closed of string
+    (** operation on an engine (or server session) after [close] *)
+  | `Timeout of string
+    (** the operation was cancelled cooperatively because it exceeded its
+        deadline — see [Whynot.Engine.set_deadline] *)
   | `Internal of string  (** invariant violation; please report *)
   ]
 

@@ -60,6 +60,8 @@ let timer ?(doc = "") name =
         Hashtbl.add timers name t;
         t)
 
+let now_s () = Unix.gettimeofday ()
+
 let record_ns t ns =
   ignore (Atomic.fetch_and_add t.ns ns);
   Atomic.incr t.calls

@@ -40,6 +40,11 @@ val value : counter -> int
 
 val name : counter -> string
 
+val now_s : unit -> float
+(** The wall clock the timers use ([Unix.gettimeofday]), re-exported so
+    higher layers with no [unix] dependency of their own (the deadline
+    checks of {!Whynot_concept.Subsume_memo}) share one time source. *)
+
 type timer
 (** A named accumulating wall-clock timer. Each {!time} adds the elapsed
     nanoseconds of one call; a timer surfaces in snapshots as two entries,

@@ -556,3 +556,90 @@ let whynot =
       (Some
          (Whynot_core.Whynot.make_exn ~instance:inst ~query:q
             ~missing:(List.nth candidates i) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Wire-protocol JSON                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Wjson = Whynot.Json
+
+(* Strings over the full byte range: quotes, backslashes, control
+   characters (the encoder escapes them as \u00XX) and high bytes (which
+   travel raw). *)
+let wire_string =
+  let wire_char =
+    QG.frequency
+      [
+        (8, QG.char_range 'a' 'z');
+        (2, QG.oneofl [ '"'; '\\'; '/'; '\n'; '\t'; '\r'; ' ' ]);
+        (1, QG.map Char.chr (QG.int_range 0 31));
+        (1, QG.map Char.chr (QG.int_range 128 255));
+      ]
+  in
+  QG.string_size ~gen:wire_char (QG.int_range 0 10)
+
+(* Finite floats only (JSON has no NaN/infinity), mixing integral values
+   (printed "%.1f") with fractional ones (printed "%.17g"). *)
+let wire_float =
+  let* mantissa = QG.int_range (-1_000_000) 1_000_000 in
+  let* scale = QG.oneofl [ 0.001; 0.25; 0.5; 1.; 3.; 1000. ] in
+  QG.return (float_of_int mantissa *. scale)
+
+let wire_scalar =
+  QG.frequency
+    [
+      (2, QG.return Wjson.Null);
+      (2, QG.map (fun b -> Wjson.Bool b) QG.bool);
+      (4, QG.map (fun n -> Wjson.Int n) QG.int);
+      (2, QG.map (fun x -> Wjson.Float x) wire_float);
+      (4, QG.map (fun s -> Wjson.String s) wire_string);
+    ]
+
+let wire_json =
+  let node self depth =
+    if depth <= 0 then wire_scalar
+    else
+      QG.frequency
+        [
+          (3, wire_scalar);
+          ( 1,
+            QG.map
+              (fun xs -> Wjson.List xs)
+              (QG.list_size (QG.int_range 0 4) (self (depth - 1))) );
+          ( 1,
+            QG.map
+              (fun fields -> Wjson.Obj fields)
+              (QG.list_size (QG.int_range 0 4)
+                 (QG.pair wire_string (self (depth - 1)))) );
+        ]
+  in
+  let rec self depth = node self depth in
+  self 4
+
+let wire_envelope =
+  (* Half the draws are arbitrary JSON documents, half are shaped like the
+     server's schema_version-3 envelopes (headers + result/error). *)
+  let envelope =
+    let* op = QG.oneofl [ "create"; "question"; "one_mge"; "stats"; "close" ] in
+    let* session = QG.oneofl [ "s1"; "bench-0"; "a b"; "" ] in
+    let* id = wire_scalar in
+    let* payload = wire_json in
+    let* is_error = QG.bool in
+    QG.return
+      (Wjson.Obj
+         [
+           ("schema_version", Wjson.Int 3);
+           ("op", Wjson.String op);
+           ("session", Wjson.String session);
+           ("id", id);
+           (if is_error then
+              ( "error",
+                Wjson.Obj
+                  [
+                    ("code", Wjson.String "timeout");
+                    ("message", Wjson.String "the operation exceeded its deadline");
+                  ] )
+            else ("result", payload));
+         ])
+  in
+  QG.frequency [ (1, envelope); (1, wire_json) ]

@@ -99,3 +99,12 @@ val whynot : Whynot_core.Whynot.t option QCheck2.Gen.t
     query of head arity 1 or 2 and a missing tuple certified absent from
     the answers; [None] when the random instance answers everything (the
     property should then pass vacuously). *)
+
+val wire_json : Whynot.Json.t QCheck2.Gen.t
+(** Arbitrary wire JSON: full-byte-range strings, finite floats (integral
+    and fractional), deep lists/objects — everything the server's codec
+    must round-trip byte-exactly. *)
+
+val wire_envelope : Whynot.Json.t QCheck2.Gen.t
+(** Half arbitrary {!wire_json} documents, half objects shaped like the
+    server's schema_version-3 request/response envelopes. *)

@@ -6,6 +6,10 @@ module Lub = Whynot_concept.Lub
 module Subsume_schema = Whynot_concept.Subsume_schema
 module Subsume_inst = Whynot_concept.Subsume_inst
 module Irredundant = Whynot_concept.Irredundant
+
+(* Bind the facade's JSON codec before [Whynot] is rebound to the core
+   question module below. *)
+module Wire_json = Whynot.Json
 module Whynot = Whynot_core.Whynot
 module Explanation = Whynot_core.Explanation
 module Exhaustive = Whynot_core.Exhaustive
@@ -537,6 +541,24 @@ let ext_indexed_equals_scan =
       Semantics.ext_equal indexed scan && Semantics.ext_equal replayed scan)
 
 (* ------------------------------------------------------------------ *)
+(* The wire codec vs itself                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The server's hand-rolled JSON decoder against the hand-rolled encoder:
+   every envelope (and every other finite JSON document — adversarial
+   strings, integral and fractional floats, deep nesting, duplicate keys)
+   must survive [encode ∘ decode] {e exactly}, field order, Int/Float
+   class and all. Structural equality is the oracle. *)
+let wire_envelope_roundtrip =
+  prop "wire/envelope-roundtrip" 500
+    (fun j -> Wire_json.to_string j)
+    Gen.wire_envelope
+    (fun j ->
+      match Wire_json.of_string (Wire_json.to_string j) with
+      | Ok j' -> j' = j
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -562,6 +584,7 @@ let all =
     parallel_mge_equals_sequential;
     eval_planned_equals_naive;
     ext_indexed_equals_scan;
+    wire_envelope_roundtrip;
   ]
 
 let names = List.map (fun p -> p.name) all

@@ -1,0 +1,30 @@
+(** Request handlers: one function per wire operation, dispatched by
+    {!handle}. Handlers are transport-agnostic — they consume a parsed
+    {!Protocol.request} and produce either a result JSON or an
+    [(error code, message)] pair; the server layer wraps both in
+    envelopes, meters them, and owns the sockets. *)
+
+type deps = {
+  registry : Registry.t;
+  domains_default : int;      (** worker domains for new sessions *)
+  domains_max : int;          (** upper bound a client may request *)
+  default_deadline_ms : int;  (** per-request deadline; [0] = none *)
+  max_deadline_ms : int;      (** cap on client-chosen deadlines; [0] = none *)
+  debug_ops : bool;           (** enable [debug_sleep] (tests only) *)
+  started_at_s : float;
+}
+
+val known_ops : string list
+(** Every op {!handle} dispatches (including the debug ones) — the server
+    pre-registers one latency timer per entry. *)
+
+val handle : deps -> Protocol.request -> (Protocol.Wjson.t, string * string) result
+(** Dispatch one request. Session-scoped operations lock the session,
+    install the request deadline on its engine, and clear it afterwards;
+    an engine that trips the deadline yields the ["timeout"] error code
+    with the session left warm and usable. *)
+
+val close_session : swept:bool -> Registry.session -> unit
+(** Close a session's engine under its lock, counting it as closed (and
+    additionally as swept when the idle sweeper triggered the close).
+    Shared with the server's TTL sweeper and shutdown drain. *)

@@ -1,0 +1,50 @@
+(** The session registry: a bounded, mutex-guarded table mapping
+    client-chosen names to live {!Whynot.Engine} values plus the parsing
+    context needed to serve wire requests against them.
+
+    The registry owns only the {e table}; engines are closed by the
+    caller (the request handlers and the server's sweeper/drain paths),
+    always under the session's own [lock] so an in-flight operation
+    finishes before the engine goes away. *)
+
+open Whynot_relational
+
+type source = Workload of string | Inline
+
+type session = {
+  name : string;
+  doc : Whynot_text.Parser.document;
+      (** attribute-name context for parsing and rendering concepts *)
+  schema : Schema.t;
+  engine : Whynot.Engine.t;
+  query : Cq.t option;        (** the document's query, when present *)
+  default_missing : Value.t list option;
+  source : source;
+  created_at_s : float;
+  lock : Mutex.t;
+      (** serialises engine operations — engines are single-domain-at-a-
+          time values; every handler and the sweeper take this lock *)
+  mutable last_used_s : float;
+}
+
+type t
+
+val create : max_sessions:int -> t
+
+val count : t -> int
+
+val add : t -> session -> (unit, [ `Exists | `Full ]) result
+
+val find : t -> string -> session option
+(** Bumps the session's [last_used_s] (keeping it alive w.r.t. the TTL
+    sweep) before returning it. *)
+
+val remove : t -> string -> session option
+(** Unlinks the session from the table; the caller closes its engine. *)
+
+val sweep : t -> ttl_s:float -> now_s:float -> session list
+(** Unlink every session idle longer than [ttl_s] and return them for
+    the caller to close. *)
+
+val drain : t -> session list
+(** Unlink all sessions (shutdown path). *)

@@ -1,0 +1,423 @@
+(* The TCP serving layer. One systhread per connection (request handling
+   is dominated by engine work, which runs on the engine's own domains;
+   systhreads are plenty for the socket plumbing), a polling accept loop
+   so shutdown needs no self-pipe, and a counting semaphore as the
+   bounded "queue": try_acquire either admits a request or sheds it with
+   an "overloaded" response — requests are never buffered without bound. *)
+
+module Obs = Whynot_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  max_sessions : int;
+  max_conns : int;
+  max_inflight : int;
+  max_requests_per_conn : int;
+  max_line_bytes : int;
+  default_deadline_ms : int;
+  max_deadline_ms : int;
+  session_ttl_ms : int;
+  sweep_interval_ms : int;
+  access_log : bool;
+  debug_ops : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = 1;
+    max_sessions = 64;
+    max_conns = 64;
+    max_inflight = 16;
+    max_requests_per_conn = 10_000;
+    max_line_bytes = 1 lsl 20;
+    default_deadline_ms = 10_000;
+    max_deadline_ms = 60_000;
+    session_ttl_ms = 600_000;
+    sweep_interval_ms = 1_000;
+    access_log = true;
+    debug_ops = false;
+  }
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  registry : Registry.t;
+  deps : Handlers.deps;
+  shutting_down : bool Atomic.t;
+  inflight : Semaphore.Counting.t;
+  conns : int ref;                  (* guarded by [conn_mutex] *)
+  conn_mutex : Mutex.t;
+  conn_cond : Condition.t;
+  mutable accept_thread : Thread.t option;
+  mutable sweeper_thread : Thread.t option;
+}
+
+(* --- counters and timers --- *)
+
+let c_conns_accepted =
+  Obs.counter "server.conns.accepted" ~doc:"TCP connections accepted"
+
+let c_conns_shed =
+  Obs.counter "server.conns.shed"
+    ~doc:"connections refused because max_conns was reached"
+
+let c_requests = Obs.counter "server.requests" ~doc:"request lines received"
+let c_served = Obs.counter "server.served" ~doc:"requests answered with a result"
+
+let c_errors =
+  Obs.counter "server.errors" ~doc:"requests answered with a non-timeout error"
+
+let c_shed =
+  Obs.counter "server.shed"
+    ~doc:"requests shed with \"overloaded\" because max_inflight was reached"
+
+let c_timeouts =
+  Obs.counter "server.timeouts" ~doc:"requests cancelled by their deadline"
+
+let c_malformed =
+  Obs.counter "server.malformed" ~doc:"request lines that failed to parse"
+
+let op_timers =
+  (* Only the fixed op vocabulary gets a timer: registering timers for
+     arbitrary client-supplied op strings would let a client grow the
+     process-global registry without bound. *)
+  List.map
+    (fun op -> (op, Obs.timer ("server.op." ^ op) ~doc:"wire op latency"))
+    Handlers.known_ops
+
+(* --- logging --- *)
+
+let log t fmt =
+  if t.cfg.access_log then
+    Printf.ksprintf (fun s -> Printf.eprintf "whynot-server: %s\n%!" s) fmt
+  else Printf.ksprintf ignore fmt
+
+let peer_string = function
+  | Unix.ADDR_INET (addr, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+  | Unix.ADDR_UNIX path -> path
+
+(* --- connection I/O --- *)
+
+exception Conn_closed
+
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       off := !off + Unix.write fd data !off (len - !off)
+     done
+   with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+     raise Conn_closed)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+}
+
+let make_reader fd = { fd; buf = Buffer.create 512; chunk = Bytes.create 4096 }
+
+(* Pull one newline-terminated line out of the reader, polling the
+   shutdown flag while idle so draining connections exit promptly.
+   [`Line s] (CR stripped), [`Eof] (peer hung up or shutdown), or
+   [`Too_long] once the pending unterminated input exceeds the cap. *)
+let read_line r ~max_bytes ~stop =
+  let take_line () =
+    let s = Buffer.contents r.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      let line =
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+  in
+  let rec loop () =
+    match take_line () with
+    | Some line -> `Line line
+    | None ->
+      if Buffer.length r.buf > max_bytes then `Too_long
+      else if Atomic.get stop then `Eof
+      else begin
+        match Unix.select [ r.fd ] [] [] 0.2 with
+        | [], _, _ -> loop ()
+        | _ -> (
+          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          | 0 -> `Eof
+          | n ->
+            Buffer.add_subbytes r.buf r.chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) -> `Eof)
+        | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+      end
+  in
+  loop ()
+
+(* --- per-request processing --- *)
+
+let classify_code = function
+  | "timeout" -> `Timeout
+  | "overloaded" -> `Shed
+  | _ -> `Error
+
+let serve_request t peer line =
+  Obs.incr c_requests;
+  let t0 = Obs.now_s () in
+  let reply, status =
+    match Protocol.parse_request line with
+    | Error msg ->
+      Obs.incr c_malformed;
+      Obs.incr c_errors;
+      ( Protocol.error_line ~code:"parse" ~message:msg (),
+        "parse" )
+    | Ok req ->
+      if not (Semaphore.Counting.try_acquire t.inflight) then begin
+        Obs.incr c_shed;
+        ( Protocol.error_line ~request:req ~code:"overloaded"
+            ~message:"the server is at its concurrent-request limit" (),
+          "overloaded" )
+      end
+      else
+        Fun.protect
+          ~finally:(fun () -> Semaphore.Counting.release t.inflight)
+          (fun () ->
+             let run () = Handlers.handle t.deps req in
+             let result =
+               match List.assoc_opt req.Protocol.op op_timers with
+               | Some timer -> Obs.time timer run
+               | None -> run ()
+             in
+             match result with
+             | Ok json ->
+               Obs.incr c_served;
+               (Protocol.ok_line req json, "ok")
+             | Error (code, message) ->
+               (match classify_code code with
+                | `Timeout -> Obs.incr c_timeouts
+                | `Shed -> Obs.incr c_shed
+                | `Error -> Obs.incr c_errors);
+               (Protocol.error_line ~request:req ~code ~message (), code))
+  in
+  let dur_ms = (Obs.now_s () -. t0) *. 1000. in
+  log t "peer=%s status=%s dur_ms=%.2f bytes=%d" peer status dur_ms
+    (String.length reply);
+  reply
+
+(* --- connection loop --- *)
+
+let conn_main t fd peer =
+  let reader = make_reader fd in
+  let served = ref 0 in
+  (try
+     let rec loop () =
+       if Atomic.get t.shutting_down then ()
+       else
+         match
+           read_line reader ~max_bytes:t.cfg.max_line_bytes
+             ~stop:t.shutting_down
+         with
+         | `Eof -> ()
+         | `Too_long ->
+           Obs.incr c_malformed;
+           Obs.incr c_errors;
+           write_line fd
+             (Protocol.error_line ~code:"parse"
+                ~message:
+                  (Printf.sprintf "request line exceeds %d bytes"
+                     t.cfg.max_line_bytes)
+                ());
+           (* Framing is lost beyond the cap: drop the connection. *)
+           ()
+         | `Line "" -> loop ()
+         | `Line line ->
+           if !served >= t.cfg.max_requests_per_conn then begin
+             Obs.incr c_errors;
+             write_line fd
+               (Protocol.error_line ~code:"request-cap"
+                  ~message:
+                    (Printf.sprintf
+                       "this connection exhausted its budget of %d requests"
+                       t.cfg.max_requests_per_conn)
+                  ())
+           end
+           else begin
+             incr served;
+             write_line fd (serve_request t peer line);
+             loop ()
+           end
+     in
+     loop ()
+   with
+   | Conn_closed -> ()
+   | e ->
+     log t "peer=%s connection error: %s" peer (Printexc.to_string e));
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  Mutex.protect t.conn_mutex (fun () ->
+    decr t.conns;
+    Condition.broadcast t.conn_cond)
+
+(* --- accept loop and sweeper --- *)
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.shutting_down then ()
+    else begin
+      (match Unix.select [ t.lsock ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ -> (
+         match Unix.accept ~cloexec:true t.lsock with
+         | fd, peer_addr ->
+           Obs.incr c_conns_accepted;
+           let peer = peer_string peer_addr in
+           let admitted =
+             Mutex.protect t.conn_mutex (fun () ->
+               if !(t.conns) >= t.cfg.max_conns then false
+               else begin
+                 incr t.conns;
+                 true
+               end)
+           in
+           if admitted then
+             ignore (Thread.create (fun () -> conn_main t fd peer) ())
+           else begin
+             Obs.incr c_conns_shed;
+             (try
+                write_line fd
+                  (Protocol.error_line ~code:"overloaded"
+                     ~message:"the server is at its connection limit" ())
+              with Conn_closed -> ());
+             (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+             log t "peer=%s status=conn-shed" peer
+           end
+         | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> ())
+       | exception Unix.Unix_error (EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.lsock with Unix.Unix_error (_, _, _) -> ())
+
+let sweeper_loop t =
+  let interval_s = float_of_int (max t.cfg.sweep_interval_ms 10) /. 1000. in
+  let rec loop () =
+    if Atomic.get t.shutting_down then ()
+    else begin
+      (* Sleep in short slices so shutdown is never held up by a long
+         sweep interval. *)
+      let slices = int_of_float (Float.ceil (interval_s /. 0.05)) in
+      let rec doze k =
+        if k > 0 && not (Atomic.get t.shutting_down) then begin
+          Thread.delay 0.05;
+          doze (k - 1)
+        end
+      in
+      doze slices;
+      if (not (Atomic.get t.shutting_down)) && t.cfg.session_ttl_ms > 0 then begin
+        let ttl_s = float_of_int t.cfg.session_ttl_ms /. 1000. in
+        let stale =
+          Registry.sweep t.registry ~ttl_s ~now_s:(Obs.now_s ())
+        in
+        List.iter
+          (fun (s : Registry.session) ->
+             Handlers.close_session ~swept:true s;
+             log t "session=%s status=swept" s.Registry.name)
+          stale
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let start cfg =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+   | _ -> ()
+   | exception Sys_error _ -> ());
+  match
+    let addr = Unix.inet_addr_of_string cfg.host in
+    let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+    (try Unix.bind lsock (Unix.ADDR_INET (addr, cfg.port))
+     with e ->
+       Unix.close lsock;
+       raise e);
+    Unix.listen lsock 64;
+    let bound_port =
+      match Unix.getsockname lsock with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> cfg.port
+    in
+    let registry = Registry.create ~max_sessions:cfg.max_sessions in
+    let deps =
+      {
+        Handlers.registry;
+        domains_default = max cfg.domains 1;
+        domains_max = 16;
+        default_deadline_ms = cfg.default_deadline_ms;
+        max_deadline_ms = cfg.max_deadline_ms;
+        debug_ops = cfg.debug_ops;
+        started_at_s = Obs.now_s ();
+      }
+    in
+    let t =
+      {
+        cfg;
+        lsock;
+        bound_port;
+        registry;
+        deps;
+        shutting_down = Atomic.make false;
+        inflight = Semaphore.Counting.make (max cfg.max_inflight 1);
+        conns = ref 0;
+        conn_mutex = Mutex.create ();
+        conn_cond = Condition.create ();
+        accept_thread = None;
+        sweeper_thread = None;
+      }
+    in
+    t.accept_thread <- Some (Thread.create accept_loop t);
+    t.sweeper_thread <- Some (Thread.create sweeper_loop t);
+    log t "listening on %s:%d" cfg.host bound_port;
+    t
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (err, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | exception Failure msg -> Error msg
+
+let port t = t.bound_port
+let config t = t.cfg
+let session_count t = Registry.count t.registry
+let initiate_shutdown t = Atomic.set t.shutting_down true
+
+let wait t =
+  Option.iter Thread.join t.accept_thread;
+  Mutex.protect t.conn_mutex (fun () ->
+    while !(t.conns) > 0 do
+      Condition.wait t.conn_cond t.conn_mutex
+    done);
+  Option.iter Thread.join t.sweeper_thread;
+  let drained = Registry.drain t.registry in
+  List.iter (Handlers.close_session ~swept:false) drained;
+  log t "drained: %d sessions closed, %d requests served" (List.length drained)
+    (Obs.value c_served)
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> initiate_shutdown t) in
+  (try Sys.set_signal Sys.sigterm handle with Sys_error _ | Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint handle with Sys_error _ | Invalid_argument _ -> ())

@@ -56,10 +56,6 @@ let schema e = e.schema
 let instance e = e.instance
 let is_closed e = e.closed
 
-let guard e k =
-  if e.closed then Error (`Invalid_config "the engine has been closed")
-  else k ()
-
 let own_question e wn k =
   if wn.W.instance == e.instance then k ()
   else
@@ -84,6 +80,30 @@ let join_caches e =
 let joined e r =
   join_caches e;
   r
+
+(* Every operation funnels through this guard, so a closed engine answers
+   [`Closed] uniformly and a tripped cooperative deadline surfaces as
+   [`Timeout] instead of an escaping exception. The private worker caches
+   are still merged on the timeout path: whatever verdicts were computed
+   before the trip are valid and keep later operations warm. *)
+let guard e k =
+  if e.closed then Error (`Closed "the engine has been closed")
+  else
+    match k () with
+    | r -> r
+    | exception Subsume_memo.Deadline_exceeded ->
+      join_caches e;
+      Error (`Timeout "the operation exceeded its deadline")
+
+(* [Some t]: every operation issued (or already running) on this engine
+   unwinds with [`Timeout] once [Whynot_obs.Obs.now_s () > t]. The
+   deadline is installed on the shared and every per-worker memo handle,
+   so parallel searches observe it on all domains. *)
+let set_deadline e d =
+  Array.iter (fun h -> Subsume_memo.set_inst_deadline h d) e.inst_handles;
+  Option.iter
+    (Array.iter (fun h -> Subsume_memo.set_schema_deadline h d))
+    e.schema_handles
 
 let question ?answers e ~query ~missing () =
   guard e (fun () ->
@@ -139,7 +159,8 @@ let one_mge ?(variant = Incremental.Selection_free) ?order ?shorten e wn =
 
 let check_mge ?(variant = Incremental.Selection_free) e wn ex =
   guard e (fun () ->
-      own_question e wn (fun () -> Ok (Incremental.check_mge ~variant wn ex)))
+      own_question e wn (fun () ->
+          Ok (Incremental.check_mge ~handle:e.inst_handles.(0) ~variant wn ex)))
 
 (* --- Algorithm 1 (exhaustive, w.r.t. finite ontologies) --- *)
 
@@ -185,6 +206,10 @@ let counters (_ : t) = Obs.snapshot ()
 let close e =
   if not e.closed then begin
     e.closed <- true;
+    (* The shared slot-0 handle is interned and may outlive this engine
+       (a later engine over the same physical instance re-interns it), so
+       never leave a stale deadline behind. *)
+    set_deadline e None;
     join_caches e;
     Subsume_memo.clear ();
     Pool.close e.pool

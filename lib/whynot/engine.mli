@@ -45,6 +45,20 @@ val schema : t -> Schema.t option
 val instance : t -> Instance.t
 val is_closed : t -> bool
 
+val set_deadline : t -> float option -> unit
+(** [set_deadline e (Some t)]: operations on [e] are cancelled
+    cooperatively once the wall clock ({!Whynot_obs.Obs.now_s}) passes the
+    absolute time [t], returning [`Timeout] instead of a result — the
+    cancellation points are the memoised subsumption/extension/lub entry
+    points every search funnels through, on the shared and every
+    per-worker handle, so parallel runs unwind on all domains within one
+    candidate evaluation. Verdicts computed before the trip stay cached
+    (the engine is left warm and fully usable). [None] clears the
+    deadline. The serving layer installs a deadline per request; engines
+    sharing one {e physical} instance value share the slot-0 handle and
+    therefore its deadline — such engines must not run concurrently
+    anyway (see the thread-safety note above). *)
+
 val question :
   ?answers:Relation.t ->
   t ->
@@ -135,7 +149,8 @@ val counters : t -> (string * int) list
     returns they account for every worker's increments. *)
 
 val close : t -> (unit, Whynot_error.t) result
-(** Merge the per-domain verdict caches into the shared handle, flush the
-    process-wide memo registries ({!Whynot_concept.Subsume_memo.clear}),
-    and shut the worker domains down. Idempotent; any further operation on
-    the engine fails with [`Invalid_config]. *)
+(** Merge the per-domain verdict caches into the shared handle, clear any
+    pending deadline, flush the process-wide memo registries
+    ({!Whynot_concept.Subsume_memo.clear}), and shut the worker domains
+    down. Idempotent; any further operation on the engine fails with
+    [`Closed]. *)

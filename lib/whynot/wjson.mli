@@ -16,6 +16,21 @@ type t =
 val to_string : t -> string
 (** Compact (single-line) serialisation with escaped strings. *)
 
+val of_string : string -> (t, Whynot_error.t) result
+(** Parse one JSON value (the whole string must be consumed). [`Parse]
+    carries the byte offset of the failure. Numbers without ['.'], ['e']
+    or ['E'] become [Int] (degrading to [Float] past native-int range),
+    everything else [Float] — so [of_string (to_string j) = Ok j] for
+    every finite value. Nesting is bounded (512 levels), making the
+    decoder safe on adversarial wire input. *)
+
+val member : string -> t -> t option
+(** First field of that name of an [Obj]; [None] otherwise. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option
+
 val schema_version : int
 (** The current envelope version: [2]. *)
 

@@ -223,14 +223,35 @@ let test_close_flushes_and_bricks () =
   Alcotest.(check bool) "is_closed" true (Engine.is_closed engine);
   Alcotest.(check bool) "close is idempotent" true
     (Result.is_ok (Engine.close engine));
-  Alcotest.(check string) "one_mge after close" "invalid-config"
+  (* Every operation on a closed engine answers uniformly with `Closed. *)
+  Alcotest.(check string) "one_mge after close" "closed"
     (code (Engine.one_mge engine wn));
-  Alcotest.(check string) "all_mges after close" "invalid-config"
+  Alcotest.(check string) "all_mges after close" "closed"
     (code (Engine.all_mges engine wn));
-  Alcotest.(check string) "question after close" "invalid-config"
+  Alcotest.(check string) "check_mge after close" "closed"
+    (code (Engine.check_mge engine wn [ Whynot_concept.Ls.top ]));
+  Alcotest.(check string) "exists_explanation after close" "closed"
+    (code (Engine.exists_explanation engine wn));
+  Alcotest.(check string) "one_mge_exhaustive after close" "closed"
+    (code (Engine.one_mge_exhaustive engine wn));
+  Alcotest.(check string) "all_mges_schema after close" "closed"
+    (code (Engine.all_mges_schema engine wn));
+  Alcotest.(check string) "question after close" "closed"
     (code
        (Engine.question engine ~query:Cities.two_hop_query
           ~missing:Cities.missing_tuple ()))
+
+let test_deadline_times_out_and_clears () =
+  with_engine @@ fun engine ->
+  let wn = cities_question engine in
+  Engine.set_deadline engine (Some (Obs.now_s () -. 1.));
+  Alcotest.(check string) "expired deadline trips one_mge" "timeout"
+    (code (Engine.one_mge engine wn));
+  Alcotest.(check string) "expired deadline trips all_mges" "timeout"
+    (code (Engine.all_mges engine wn));
+  Engine.set_deadline engine None;
+  Alcotest.(check bool) "engine stays usable after a timeout" true
+    (Result.is_ok (Engine.one_mge engine wn))
 
 let () =
   Alcotest.run "engine"
@@ -270,5 +291,7 @@ let () =
         [
           Alcotest.test_case "close flushes and bricks the engine" `Quick
             test_close_flushes_and_bricks;
+          Alcotest.test_case "deadlines time out and clear" `Quick
+            test_deadline_times_out_and_clears;
         ] );
     ]

@@ -191,6 +191,41 @@ let test_plan_cache_and_probes () =
   Alcotest.(check bool) "replay probes the index" true
     (counter_value d2 "eval.index.probes" >= 1)
 
+let test_handle_cap_flush () =
+  (* The handle registry is capped at 64 physical instances; interning a
+     65th must flush the registry wholesale and carry on, with both the
+     pre-flush handles and the accounting staying consistent. *)
+  Eval_index.clear ();
+  let mk k = Instance.of_facts [ ("R", [ [ vi k; vi (k + 1) ] ]) ] in
+  let insts = List.init 65 mk in
+  let handles, d =
+    Obs.delta (fun () -> List.map Eval_index.of_instance insts)
+  in
+  Alcotest.(check int) "65 distinct instances intern 65 handles" 65
+    (counter_value d "eval.index.handles");
+  Alcotest.(check int) "the 65th intern flushes the registry" 1
+    (counter_value d "eval.index.flushes");
+  let probe_one h key =
+    List.length (Eval_index.probe h ~rel:"R" ~cols:[ 1 ] [ vi key ])
+  in
+  Alcotest.(check int) "the post-flush handle answers probes" 1
+    (probe_one (List.nth handles 64) 64);
+  Alcotest.(check int) "a pre-flush handle keeps working" 1
+    (probe_one (List.hd handles) 0);
+  (* The flush dropped the first instance's registry entry: re-interning
+     it builds a fresh handle... *)
+  let h1', d2 = Obs.delta (fun () -> Eval_index.of_instance (List.hd insts)) in
+  Alcotest.(check bool) "re-interning after the flush is a fresh handle" true
+    (not (h1' == List.hd handles));
+  Alcotest.(check int) "...counted as one new handle" 1
+    (counter_value d2 "eval.index.handles");
+  (* ...and from then on the registry shares it again. *)
+  let h1'', d3 = Obs.delta (fun () -> Eval_index.of_instance (List.hd insts)) in
+  Alcotest.(check bool) "the fresh handle is shared on the next intern" true
+    (h1'' == h1');
+  Alcotest.(check int) "a registry hit interns nothing" 0
+    (counter_value d3 "eval.index.handles")
+
 let test_plan_pp () =
   let idx = Eval_index.of_instance inst_r in
   let q =
@@ -310,6 +345,7 @@ let () =
       ( "caching",
         [
           Alcotest.test_case "plan cache + probes" `Quick test_plan_cache_and_probes;
+          Alcotest.test_case "handle cap flush" `Quick test_handle_cap_flush;
           Alcotest.test_case "plan pp" `Quick test_plan_pp;
         ] );
       ( "index-selections",

@@ -1,0 +1,331 @@
+(* Integration tests for the wire server: real loopback TCP connections
+   against an in-process [Whynot_server.Server], covering concurrent
+   sessions, per-request deadlines, load shedding, malformed input,
+   per-connection request caps, idle-TTL eviction, and graceful drain
+   (both the API path and the SIGTERM path). *)
+
+module Server = Whynot_server.Server
+module Json = Whynot.Json
+
+(* --- a tiny blocking line client --- *)
+
+type client = { fd : Unix.file_descr; rdbuf : Buffer.t }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; rdbuf = Buffer.create 512 }
+
+let disconnect c = try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+let send_raw c line =
+  let data = Bytes.of_string line in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write c.fd data !off (len - !off)
+  done
+
+let recv_line c =
+  let chunk = Bytes.create 4096 in
+  let rec next () =
+    let s = Buffer.contents c.rdbuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear c.rdbuf;
+      Buffer.add_substring c.rdbuf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+    | None -> (
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> None
+      | n ->
+        Buffer.add_subbytes c.rdbuf chunk 0 n;
+        next ()
+      | exception Unix.Unix_error (ECONNRESET, _, _) -> None)
+  in
+  next ()
+
+(* Send one request line, return the decoded reply. *)
+let rpc c line =
+  send_raw c (line ^ "\n");
+  match recv_line c with
+  | None -> Alcotest.fail ("connection closed while awaiting a reply to " ^ line)
+  | Some reply -> (
+    match Json.of_string reply with
+    | Ok j -> j
+    | Error _ -> Alcotest.failf "unparsable reply %S" reply)
+
+let error_code j =
+  match Json.member "error" j with
+  | Some e -> Option.bind (Json.member "code" e) Json.to_string_opt
+  | None -> None
+
+let result_of j = Json.member "result" j
+
+let check_ok what j =
+  match result_of j with
+  | Some r -> r
+  | None -> Alcotest.failf "%s: expected a result, got %s" what (Json.to_string j)
+
+let check_error what expected j =
+  Alcotest.(check (option string)) what (Some expected) (error_code j)
+
+let with_server ?(cfg = Server.default_config) f =
+  let cfg = { cfg with port = 0; access_log = false } in
+  match Server.start cfg with
+  | Error msg -> Alcotest.failf "server failed to start: %s" msg
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () ->
+        Server.initiate_shutdown server;
+        Server.wait server)
+      (fun () -> f server)
+
+(* --- the tests --- *)
+
+let test_concurrent_sessions () =
+  with_server @@ fun server ->
+  let port = Server.port server in
+  let failure = Atomic.make "" in
+  let worker workload session () =
+    try
+      let c = connect port in
+      Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+      let r =
+        check_ok "create"
+          (rpc c
+             (Printf.sprintf
+                "{\"op\":\"create\",\"session\":\"%s\",\"workload\":\"%s\"}"
+                session workload))
+      in
+      (match Json.member "has_query" r with
+       | Some (Json.Bool true) -> ()
+       | _ -> failwith "workload session should carry a query");
+      for _ = 1 to 3 do
+        let r =
+          check_ok "one_mge"
+            (rpc c
+               (Printf.sprintf "{\"op\":\"one_mge\",\"session\":\"%s\"}" session))
+        in
+        match Json.member "mge" r with
+        | Some (Json.List (_ :: _)) -> ()
+        | _ -> failwith "one_mge returned no concepts"
+      done;
+      ignore
+        (check_ok "close"
+           (rpc c (Printf.sprintf "{\"op\":\"close\",\"session\":\"%s\"}" session)))
+    with e -> Atomic.set failure (session ^ ": " ^ Printexc.to_string e)
+  in
+  let threads =
+    [
+      Thread.create (worker "cities" "alpha") ();
+      Thread.create (worker "retail" "beta") ();
+      Thread.create (worker "cities" "gamma") ();
+    ]
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check string) "all concurrent clients succeeded" "" (Atomic.get failure);
+  Alcotest.(check int) "all sessions closed" 0 (Server.session_count server)
+
+let test_deadline_timeout_connection_survives () =
+  with_server @@ fun server ->
+  let c = connect (Server.port server) in
+  Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+  ignore
+    (check_ok "create"
+       (rpc c "{\"op\":\"create\",\"session\":\"s\",\"workload\":\"cities\"}"));
+  check_error "expired deadline times out" "timeout"
+    (rpc c "{\"op\":\"one_mge\",\"session\":\"s\",\"deadline_ms\":0}");
+  (* Same connection, same session: both are still fully usable. *)
+  let r =
+    check_ok "question after timeout"
+      (rpc c "{\"op\":\"question\",\"session\":\"s\"}")
+  in
+  (match Json.member "answers" r with
+   | Some (Json.Int 4) -> ()
+   | other ->
+     Alcotest.failf "expected 4 answers, got %s"
+       (match other with Some j -> Json.to_string j | None -> "nothing"));
+  ignore (check_ok "one_mge after timeout" (rpc c "{\"op\":\"one_mge\",\"session\":\"s\"}"))
+
+let test_overload_sheds () =
+  with_server
+    ~cfg:{ Server.default_config with max_inflight = 1; debug_ops = true }
+  @@ fun server ->
+  let port = Server.port server in
+  let sleeper = connect port in
+  let blocked = connect port in
+  Fun.protect
+    ~finally:(fun () -> disconnect sleeper; disconnect blocked)
+  @@ fun () ->
+  (* Occupy the single execution slot... *)
+  send_raw sleeper "{\"op\":\"debug_sleep\",\"ms\":600}\n";
+  Thread.delay 0.15;
+  (* ...so a concurrent request is shed rather than queued. *)
+  check_error "second request is shed" "overloaded"
+    (rpc blocked "{\"op\":\"ping\"}");
+  (match recv_line sleeper with
+   | Some _ -> ()
+   | None -> Alcotest.fail "sleeper lost its connection");
+  (* Slot free again: the shed client retries successfully. *)
+  ignore (check_ok "retry after shed" (rpc blocked "{\"op\":\"ping\"}"))
+
+let test_malformed_input_keeps_serving () =
+  with_server @@ fun server ->
+  let c = connect (Server.port server) in
+  Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+  check_error "garbage line" "parse" (rpc c "this is not json");
+  check_error "non-object" "parse" (rpc c "[1,2,3]");
+  check_error "missing op" "parse" (rpc c "{\"session\":\"s\"}");
+  check_error "non-string op" "parse" (rpc c "{\"op\":42}");
+  check_error "unknown op" "unknown-op" (rpc c "{\"op\":\"frobnicate\"}");
+  check_error "unknown session" "unknown-session"
+    (rpc c "{\"op\":\"one_mge\",\"session\":\"nope\"}");
+  ignore (check_ok "server still serves" (rpc c "{\"op\":\"ping\"}"))
+
+let test_request_cap_closes_connection () =
+  with_server
+    ~cfg:{ Server.default_config with max_requests_per_conn = 3 }
+  @@ fun server ->
+  let c = connect (Server.port server) in
+  Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+  for i = 1 to 3 do
+    ignore (check_ok (Printf.sprintf "ping %d within budget" i) (rpc c "{\"op\":\"ping\"}"))
+  done;
+  check_error "budget exhausted" "request-cap" (rpc c "{\"op\":\"ping\"}");
+  Alcotest.(check bool) "connection closed after the cap" true
+    (recv_line c = None);
+  (* A fresh connection gets a fresh budget. *)
+  let c2 = connect (Server.port server) in
+  Fun.protect ~finally:(fun () -> disconnect c2) @@ fun () ->
+  ignore (check_ok "fresh connection serves again" (rpc c2 "{\"op\":\"ping\"}"))
+
+let test_idle_ttl_evicts () =
+  with_server
+    ~cfg:
+      { Server.default_config with
+        session_ttl_ms = 150; sweep_interval_ms = 50 }
+  @@ fun server ->
+  let c = connect (Server.port server) in
+  Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+  ignore
+    (check_ok "create"
+       (rpc c "{\"op\":\"create\",\"session\":\"idle\",\"workload\":\"cities\"}"));
+  ignore (check_ok "fresh session serves" (rpc c "{\"op\":\"question\",\"session\":\"idle\"}"));
+  (* Wait out the TTL plus a couple of sweep intervals. *)
+  let rec await_eviction deadline =
+    if Server.session_count server = 0 then ()
+    else if Whynot_obs.Obs.now_s () > deadline then
+      Alcotest.fail "session was not swept within 2s"
+    else begin
+      Thread.delay 0.05;
+      await_eviction deadline
+    end
+  in
+  await_eviction (Whynot_obs.Obs.now_s () +. 2.);
+  check_error "evicted session is gone" "unknown-session"
+    (rpc c "{\"op\":\"question\",\"session\":\"idle\"}");
+  (* The name is free again. *)
+  ignore
+    (check_ok "recreate after eviction"
+       (rpc c "{\"op\":\"create\",\"session\":\"idle\",\"workload\":\"cities\"}"))
+
+let test_graceful_drain () =
+  let cfg = { Server.default_config with port = 0; access_log = false } in
+  let server =
+    match Server.start cfg with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "server failed to start: %s" msg
+  in
+  let port = Server.port server in
+  let c = connect port in
+  ignore
+    (check_ok "create"
+       (rpc c "{\"op\":\"create\",\"session\":\"d\",\"workload\":\"cities\"}"));
+  Alcotest.(check int) "one live session" 1 (Server.session_count server);
+  Server.initiate_shutdown server;
+  Server.wait server;
+  Alcotest.(check int) "drain closed every session" 0 (Server.session_count server);
+  disconnect c;
+  (* The listener is gone: new connections are refused. *)
+  (match connect port with
+   | c2 ->
+     (* A race with socket teardown may accept then reset; reads must fail. *)
+     let alive = try send_raw c2 "{\"op\":\"ping\"}\n"; recv_line c2 <> None
+       with Unix.Unix_error (_, _, _) -> false
+     in
+     disconnect c2;
+     Alcotest.(check bool) "stopped server serves nothing" false alive
+   | exception Unix.Unix_error (ECONNREFUSED, _, _) -> ())
+
+let test_sigterm_drains () =
+  let cfg = { Server.default_config with port = 0; access_log = false } in
+  let server =
+    match Server.start cfg with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "server failed to start: %s" msg
+  in
+  Server.install_signal_handlers server;
+  let c = connect (Server.port server) in
+  ignore (check_ok "ping before SIGTERM" (rpc c "{\"op\":\"ping\"}"));
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* The handler only flips the shutdown flag; wait must then drain. *)
+  Server.wait server;
+  Alcotest.(check int) "SIGTERM drained the server" 0 (Server.session_count server);
+  disconnect c
+
+(* --- protocol unit checks (no sockets) --- *)
+
+module Protocol = Whynot_server.Protocol
+
+let test_protocol_envelopes () =
+  let req =
+    match Protocol.parse_request "{\"op\":\"ping\",\"id\":7,\"session\":\"s\"}" with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check string) "op parsed" "ping" req.Protocol.op;
+  Alcotest.(check (option string)) "session parsed" (Some "s") req.Protocol.session;
+  let ok = Protocol.ok_line req (Json.Obj [ ("pong", Json.Bool true) ]) in
+  (match Json.of_string ok with
+   | Ok j ->
+     Alcotest.(check (option string)) "version header" None (error_code j);
+     (match Json.member "schema_version" j with
+      | Some (Json.Int 3) -> ()
+      | _ -> Alcotest.fail "ok envelope lacks schema_version 3");
+     (match Json.member "id" j with
+      | Some (Json.Int 7) -> ()
+      | _ -> Alcotest.fail "ok envelope must echo the id")
+   | Error _ -> Alcotest.fail "ok envelope must be valid JSON");
+  let err = Protocol.error_line ~code:"overloaded" ~message:"m" () in
+  match Json.of_string err with
+  | Ok j -> Alcotest.(check (option string)) "error code" (Some "overloaded") (error_code j)
+  | Error _ -> Alcotest.fail "error envelope must be valid JSON"
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [ Alcotest.test_case "envelopes" `Quick test_protocol_envelopes ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "concurrent clients, independent sessions" `Quick
+            test_concurrent_sessions;
+          Alcotest.test_case "idle TTL evicts" `Quick test_idle_ttl_evicts;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "deadline times out, connection survives" `Quick
+            test_deadline_timeout_connection_survives;
+          Alcotest.test_case "overload sheds" `Quick test_overload_sheds;
+          Alcotest.test_case "malformed input keeps serving" `Quick
+            test_malformed_input_keeps_serving;
+          Alcotest.test_case "request cap closes the connection" `Quick
+            test_request_cap_closes_connection;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "SIGTERM drains" `Quick test_sigterm_drains;
+        ] );
+    ]
